@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunGeneratorsToFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"independent", "correlated", "anticorrelated", "clustered"} {
+		out := dir + "/" + kind + ".csv"
+		if err := run(kind, 200, 3, 4, 7, out); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		pts, err := dataset.ReadCSVFile(out)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(pts) != 200 || len(pts[0]) != 3 {
+			t.Fatalf("%s: wrong shape %dx%d", kind, len(pts), len(pts[0]))
+		}
+	}
+}
+
+func TestRunStandIn(t *testing.T) {
+	out := t.TempDir() + "/nba.csv"
+	if err := run("nba", 500, 0, 0, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := dataset.ReadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 500 || len(pts[0]) != 5 {
+		t.Fatalf("wrong shape %dx%d", len(pts), len(pts[0]))
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run("nope", 10, 2, 2, 1, ""); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	// Redirect stdout to capture the CSV.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run("independent", 5, 2, 0, 1, "")
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	buf := make([]byte, 4096)
+	n, _ := r.Read(buf)
+	lines := strings.Count(strings.TrimSpace(string(buf[:n])), "\n") + 1
+	if lines != 5 {
+		t.Fatalf("%d CSV lines, want 5", lines)
+	}
+}

@@ -1,0 +1,289 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section (Section V) on the synthetic stand-ins
+// and the Börzsönyi-style synthetic workloads.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (slow: full sizes)
+//	experiments -exp table3              # candidate set sizes
+//	experiments -exp fig7 -n 50000       # regret vs k, capped dataset size
+//	experiments -exp fig12c              # synthetic sweep over k
+//	experiments -exp headline -n 200000  # Greedy vs GeoGreedy vs StoredList
+//
+// Every experiment prints an aligned table to stdout; timings are
+// wall-clock on the current machine. Absolute numbers will differ
+// from the paper's 2014 workstation — the shapes (who wins, by what
+// factor, and how curves move with k, n and d) are the reproduction
+// target. See EXPERIMENTS.md for recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		expName  = flag.String("exp", "all", "experiment: all, table3, fig7, fig8, fig9, fig10, fig11, fig12a, fig12b, fig12c, fig12d, fig13 (alias of fig12*), headline")
+		n        = flag.Int("n", 0, "cap the real datasets at n tuples (0 = full Table III sizes); for -exp headline, the dataset size (default 200000)")
+		kmax     = flag.Int("kmax", 100, "largest k in the k sweeps")
+		noGreedy = flag.Bool("nogreedy", false, "skip the (slow) Greedy baseline in timing experiments")
+		csvDir   = flag.String("csv", "", "also write machine-readable CSV files into this directory")
+	)
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	csvOut = *csvDir
+
+	ks := sweepKs(*kmax)
+	run := func(name string, f func() error) {
+		fmt.Printf("=== %s ===\n", name)
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	all := *expName == "all"
+	ran := false
+	if all || *expName == "table3" {
+		run("Table III: candidate set sizes", func() error { return table3(*n) })
+		ran = true
+	}
+	if all || *expName == "fig7" {
+		run("Figure 7: maximum regret ratio vs k (candidates = happy points)", func() error { return figMRR(*n, ks, true) })
+		ran = true
+	}
+	if all || *expName == "fig8" {
+		run("Figure 8: maximum regret ratio vs k (candidates = skyline)", func() error { return figMRR(*n, ks, false) })
+		ran = true
+	}
+	if all || *expName == "fig9" || *expName == "fig11" {
+		run("Figures 9+11: query and total time vs k (candidates = happy points)", func() error { return figTime(*n, ks, true) })
+		ran = true
+	}
+	if all || *expName == "fig10" {
+		run("Figure 10: query time vs k (candidates = skyline)", func() error { return figTime(*n, ks, false) })
+		ran = true
+	}
+	if all || *expName == "fig12a" || *expName == "fig13" {
+		run("Figures 12(a)/13(a): vary dimensionality d", func() error {
+			rows, err := exp.SweepDim([]int{2, 3, 4, 5, 6, 7, 8, 9, 10}, exp.DefaultSynthN, exp.DefaultSynthK)
+			printSynth(rows, "d", "fig12a_13a.csv")
+			return err
+		})
+		ran = true
+	}
+	if all || *expName == "fig12b" || *expName == "fig13" {
+		run("Figures 12(b)/13(b): vary dataset size n", func() error {
+			rows, err := exp.SweepN([]int{2500, 5000, 10000, 20000, 40000}, exp.DefaultSynthD, exp.DefaultSynthK)
+			printSynth(rows, "n", "fig12b_13b.csv")
+			return err
+		})
+		ran = true
+	}
+	if all || *expName == "fig12c" || *expName == "fig13" {
+		run("Figures 12(c)/13(c): vary k", func() error {
+			rows, err := exp.SweepK(ks, exp.DefaultSynthN, exp.DefaultSynthD)
+			printSynth(rows, "k", "fig12c_13c.csv")
+			return err
+		})
+		ran = true
+	}
+	if all || *expName == "fig12d" || *expName == "fig13" {
+		run("Figures 12(d)/13(d): very large k", func() error {
+			rows, err := exp.SweepLargeK([]int{100, 200, 400, 800, 1600}, exp.DefaultSynthN, exp.DefaultSynthD)
+			printSynth(rows, "k", "fig12d_13d.csv")
+			return err
+		})
+		ran = true
+	}
+	if all || *expName == "headline" {
+		run("Section V-C headline: large dataset, k = 100", func() error {
+			size := *n
+			if size <= 0 {
+				size = 200000
+			}
+			return headline(size, !*noGreedy)
+		})
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *expName)
+		os.Exit(2)
+	}
+}
+
+// csvOut is the -csv directory ("" disables CSV output).
+var csvOut string
+
+// writeCSV writes one CSV artifact when -csv is set.
+func writeCSV(name string, write func(io.Writer) error) error {
+	if csvOut == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvOut, name))
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func sweepKs(kmax int) []int {
+	var ks []int
+	for k := 10; k <= kmax; k += 10 {
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		ks = []int{kmax}
+	}
+	return ks
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func table3(n int) error {
+	rows, err := exp.Table3(n)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV("table3.csv", func(out io.Writer) error { return exp.WriteTable3CSV(out, rows) }); err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tdims\tsize\t|Dsky|\t|Dhappy|\t|Dconv|\tpaper sky\tpaper happy\tpaper conv")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Name, r.Dims, r.N, r.Sky, r.Happy, r.Conv, r.PaperSky, r.PaperHappy, r.PaperConv)
+	}
+	return w.Flush()
+}
+
+func figMRR(n int, ks []int, useHappy bool) error {
+	var rows []exp.MRRRow
+	var err error
+	if useHappy {
+		rows, err = exp.Fig7(n, ks)
+	} else {
+		rows, err = exp.Fig8(n, ks)
+	}
+	if err != nil {
+		return err
+	}
+	name := "fig7.csv"
+	if !useHappy {
+		name = "fig8.csv"
+	}
+	if err := writeCSV(name, func(out io.Writer) error { return exp.WriteMRRCSV(out, rows) }); err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tk\tmax regret ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.4f\n", r.Dataset, r.K, r.MRR)
+	}
+	return w.Flush()
+}
+
+func figTime(n int, ks []int, useHappy bool) error {
+	var rows []exp.TimeRow
+	var err error
+	if useHappy {
+		rows, err = exp.Fig9(n, ks)
+	} else {
+		rows, err = exp.Fig10(n, ks)
+	}
+	if err != nil {
+		return err
+	}
+	name := "fig9_fig11.csv"
+	if !useHappy {
+		name = "fig10.csv"
+	}
+	if err := writeCSV(name, func(out io.Writer) error { return exp.WriteTimeCSV(out, rows) }); err != nil {
+		return err
+	}
+	w := newTab()
+	if useHappy {
+		fmt.Fprintln(w, "dataset\tk\tGreedy query\tGeoGreedy query\tStoredList query\tGreedy total\tGeoGreedy total\tStoredList total")
+		for _, r := range rows {
+			pre := r.PreSky + r.PreHappy
+			fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\t%v\t%v\t%v\n",
+				r.Dataset, r.K,
+				r.Greedy.Round(time.Microsecond),
+				r.GeoGreedy.Round(time.Microsecond),
+				r.StoredQuery.Round(time.Microsecond),
+				(pre + r.Greedy).Round(time.Millisecond),
+				(pre + r.GeoGreedy).Round(time.Millisecond),
+				(pre + r.StoredBuild + r.StoredQuery).Round(time.Millisecond))
+		}
+	} else {
+		fmt.Fprintln(w, "dataset\tk\tGreedy query\tGeoGreedy query")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%v\t%v\n",
+				r.Dataset, r.K,
+				r.Greedy.Round(time.Microsecond),
+				r.GeoGreedy.Round(time.Microsecond))
+		}
+	}
+	return w.Flush()
+}
+
+func printSynth(rows []exp.SynthRow, param, csvName string) {
+	if err := writeCSV(csvName, func(out io.Writer) error { return exp.WriteSynthCSV(out, param, rows) }); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: csv: %v\n", err)
+	}
+	w := newTab()
+	fmt.Fprintf(w, "%s\tn\td\tk\t|Dhappy|\tmax regret ratio\tGreedy query\tGeoGreedy query\n", param)
+	for _, r := range rows {
+		greedy := "-"
+		if r.Greedy > 0 {
+			greedy = r.Greedy.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.4f\t%s\t%v\n",
+			r.Param, r.N, r.D, r.K, r.Happy, r.MRR, greedy,
+			r.GeoGreedy.Round(time.Microsecond))
+	}
+	w.Flush()
+}
+
+func headline(n int, withGreedy bool) error {
+	res, err := exp.Headline(n, exp.DefaultSynthD, 100, withGreedy)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV("headline.csv", func(out io.Writer) error { return exp.WriteHeadlineCSV(out, res) }); err != nil {
+		return err
+	}
+	fmt.Printf("dataset: anti-correlated, n=%d, d=%d, k=%d\n", res.N, res.D, res.K)
+	fmt.Printf("|Dsky|=%d  |Dhappy|=%d  preprocessing=%v\n", res.SkyCount, res.HappyCount, res.PreTime.Round(time.Millisecond))
+	if withGreedy {
+		fmt.Printf("Greedy query:      %v\n", res.Greedy.Round(time.Millisecond))
+	} else {
+		fmt.Printf("Greedy query:      (skipped)\n")
+	}
+	fmt.Printf("GeoGreedy query:   %v\n", res.GeoGreedy.Round(time.Millisecond))
+	fmt.Printf("StoredList build:  %v\n", res.StoredBuild.Round(time.Millisecond))
+	fmt.Printf("StoredList query:  %v\n", res.StoredQuery.Round(time.Microsecond))
+	fmt.Printf("answer max regret ratio: %.4f\n", res.MRR)
+	return nil
+}

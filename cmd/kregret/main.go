@@ -1,0 +1,125 @@
+// Command kregret answers k-regret queries over CSV data from the
+// command line.
+//
+// Usage:
+//
+//	kregret -k 10 -in cars.csv                  # GeoGreedy over happy points
+//	kregret -k 10 -in cars.csv -algo greedy     # the LP baseline
+//	kregret -k 10 -in cars.csv -cand skyline    # prior work's candidates
+//	kregret -in cars.csv -stats                 # candidate-set statistics
+//
+// Input: one tuple per CSV record, numeric fields only, optional
+// header row; every attribute is treated as larger-is-better (negate
+// columns where smaller is better before loading). Output: the
+// selected row indices (0-based, header excluded), their values and
+// the answer's maximum regret ratio.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	kregret "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input CSV file (required)")
+		k     = flag.Int("k", 10, "maximum number of tuples to return")
+		algo  = flag.String("algo", "geogreedy", "algorithm: geogreedy or greedy")
+		cand  = flag.String("cand", "happy", "candidate set: happy, skyline or all")
+		stats = flag.Bool("stats", false, "print candidate-set statistics instead of answering a query")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "kregret: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *k, *algo, *cand, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "kregret: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, k int, algo, cand string, stats bool) error {
+	raw, err := dataset.ReadCSVFile(in)
+	if err != nil {
+		return err
+	}
+	points := make([]kregret.Point, len(raw))
+	for i, p := range raw {
+		points[i] = kregret.Point(p)
+	}
+	ds, err := kregret.NewDataset(points)
+	if err != nil {
+		return err
+	}
+
+	if stats {
+		sky, err := ds.Skyline()
+		if err != nil {
+			return err
+		}
+		hp, err := ds.HappyPoints()
+		if err != nil {
+			return err
+		}
+		conv, err := ds.ConvexPoints()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tuples:         %d\n", ds.Len())
+		fmt.Printf("attributes:     %d\n", ds.Dim())
+		fmt.Printf("skyline points: %d\n", len(sky))
+		fmt.Printf("happy points:   %d\n", len(hp))
+		fmt.Printf("hull points:    %d\n", len(conv))
+		return nil
+	}
+
+	var opts []kregret.Option
+	switch algo {
+	case "geogreedy":
+		opts = append(opts, kregret.WithAlgorithm(kregret.AlgoGeoGreedy))
+	case "greedy":
+		opts = append(opts, kregret.WithAlgorithm(kregret.AlgoGreedy))
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	switch cand {
+	case "happy":
+		opts = append(opts, kregret.WithCandidates(kregret.CandidatesHappy))
+	case "skyline":
+		opts = append(opts, kregret.WithCandidates(kregret.CandidatesSkyline))
+	case "all":
+		opts = append(opts, kregret.WithCandidates(kregret.CandidatesAll))
+	default:
+		return fmt.Errorf("unknown candidate set %q", cand)
+	}
+
+	ans, err := ds.Query(k, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selected %d of %d tuples, maximum regret ratio %.4f\n",
+		len(ans.Indices), ds.Len(), ans.MRR)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "row\tnormalized values")
+	for _, idx := range ans.Indices {
+		fmt.Fprintf(w, "%d\t%v\n", idx, ds.Point(idx))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if ans.MRR > 0 {
+		weights, witness, err := ds.WorstUtility(ans.Indices)
+		if err == nil && witness >= 0 {
+			fmt.Printf("worst-case utility weights: %v (a user with these weights would prefer row %d)\n",
+				weights, witness)
+		}
+	}
+	return nil
+}

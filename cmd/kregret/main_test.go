@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	pts, err := dataset.AntiCorrelated(300, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/pts.csv"
+	if err := dataset.WriteCSVFile(path, pts, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 8192)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestRunQuery(t *testing.T) {
+	path := writeTestCSV(t)
+	for _, algo := range []string{"geogreedy", "greedy"} {
+		out := capture(t, func() error { return run(path, 5, algo, "happy", false) })
+		if !strings.Contains(out, "maximum regret ratio") {
+			t.Fatalf("%s: missing regret line in %q", algo, out)
+		}
+	}
+	for _, cand := range []string{"skyline", "all"} {
+		out := capture(t, func() error { return run(path, 5, "geogreedy", cand, false) })
+		if !strings.Contains(out, "selected") {
+			t.Fatalf("%s: missing selection in %q", cand, out)
+		}
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	path := writeTestCSV(t)
+	out := capture(t, func() error { return run(path, 5, "geogreedy", "happy", true) })
+	for _, want := range []string{"skyline points:", "happy points:", "hull points:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestCSV(t)
+	if err := run(path+".missing", 5, "geogreedy", "happy", false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run(path, 5, "bogus", "happy", false); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+	if err := run(path, 5, "geogreedy", "bogus", false); err == nil {
+		t.Fatal("bogus candidate set accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunDefaultScene(t *testing.T) {
+	out := t.TempDir() + "/scene.svg"
+	if err := run("", out, 3, 2, 400); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(data)
+	for _, want := range []string{"<svg", "</svg>", "Conv(D) boundary", "GeoGreedy answer", "tent Y(p3)"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("scene missing %q", want)
+		}
+	}
+}
+
+func TestRunFromCSV(t *testing.T) {
+	pts, err := dataset.AntiCorrelated(150, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvPath := t.TempDir() + "/pts.csv"
+	if err := dataset.WriteCSVFile(csvPath, pts, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir() + "/data.svg"
+	if err := run(csvPath, out, 5, -1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() < 500 {
+		t.Fatalf("suspicious output: %v, %v", fi, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir+"/missing.csv", dir+"/x.svg", 3, -1, 400); err == nil {
+		t.Fatal("missing CSV accepted")
+	}
+	// 3-d data is rejected.
+	pts, err := dataset.AntiCorrelated(20, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvPath := dir + "/3d.csv"
+	if err := dataset.WriteCSVFile(csvPath, pts, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(csvPath, dir+"/x.svg", 3, -1, 400); err == nil {
+		t.Fatal("3-d data accepted")
+	}
+	// Tent index out of range.
+	if err := run("", dir+"/x.svg", 0, 99, 400); err == nil {
+		t.Fatal("tent index out of range accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package kregret_test
+
+import (
+	"fmt"
+	"log"
+
+	kregret "repro"
+)
+
+// The paper's Table I car database: normalized MPG and HP.
+func paperCars() []kregret.Point {
+	return []kregret.Point{
+		{0.94, 0.80}, // BMW M3 GTS
+		{0.76, 0.93}, // Chevrolet Camaro SS
+		{0.67, 1.00}, // Ford Shelby GT500
+		{1.00, 0.72}, // Nissan 370Z coupe
+	}
+}
+
+func ExampleDataset_Query() {
+	ds, err := kregret.NewDataset(paperCars())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := ds.Query(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected %d cars, regret %.3f\n", len(ans.Indices), ans.MRR)
+	// Output:
+	// selected 2 cars, regret 0.018
+}
+
+func ExampleDataset_Skyline() {
+	points := append(paperCars(), kregret.Point{0.60, 0.60}) // dominated
+	ds, err := kregret.NewDataset(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sky, err := ds.Skyline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("skyline rows:", sky)
+	// Output:
+	// skyline rows: [0 1 2 3]
+}
+
+func ExampleDataset_RegretOf() {
+	ds, err := kregret.NewDataset(paperCars())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper's example: S = {p2, p3}, utility weights (0.7, 0.3).
+	r, err := ds.RegretOf([]int{1, 2}, kregret.Point{0.7, 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("regret %.3f\n", r)
+	// Output:
+	// regret 0.115
+}
+
+func ExampleIndex() {
+	ds, err := kregret.NewDataset(paperCars())
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := ds.BuildIndex()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3} {
+		ans, err := idx.Query(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k=%d regret %.3f\n", k, ans.MRR)
+	}
+	// Output:
+	// k=1 regret 0.280
+	// k=2 regret 0.018
+	// k=3 regret 0.000
+}

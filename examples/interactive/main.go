@@ -1,0 +1,125 @@
+// Interactive: learn one user's utility through comparisons.
+//
+// The k-regret query serves all users at once; the paper's second
+// future direction (after Nanongkai et al., SIGMOD 2012) is the
+// complementary interactive setting — converse with ONE user:
+// repeatedly show a few tuples, let them pick a favourite, and narrow
+// down their hidden utility function until a single tuple can be
+// recommended with a small personal regret guarantee.
+//
+// This example simulates such a user on a hotel-booking scenario
+// (price inverted so larger = better, location, rating, amenities)
+// and prints how the regret guarantee tightens round by round.
+//
+// Run with: go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	kregret "repro"
+)
+
+func main() {
+	hotels := generateHotels(5000)
+	ds, err := kregret.NewDataset(hotels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session, err := ds.NewInteractiveSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The "user": hidden linear utility the system never sees. It
+	// only observes which displayed hotel the user clicks.
+	hidden := []float64{0.45, 0.30, 0.15, 0.10} // value, location, rating, amenities
+	pick := func(shown []int) int {
+		best, bestU := 0, math.Inf(-1)
+		for i, idx := range shown {
+			p := ds.Point(idx)
+			var u float64
+			for j := range p {
+				u += hidden[j] * p[j]
+			}
+			if u > bestU {
+				best, bestU = i, u
+			}
+		}
+		return best
+	}
+
+	fmt.Println("round  regret guarantee   recommended hotel")
+	for round := 0; round < 10; round++ {
+		rec, bound, err := session.Recommend()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d  %8.2f%%          #%04d %v\n", round, 100*bound, rec, short(ds.Point(rec)))
+		if bound < 0.02 {
+			fmt.Println("\nguarantee below 2% — stopping.")
+			break
+		}
+		shown, err := session.Show(4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := session.Choose(pick(shown)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	est, err := session.EstimatedUtility()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlearned utility direction: %v\n", short(est))
+	fmt.Printf("hidden utility direction:  %v (up to scale)\n", short(normalize(hidden)))
+}
+
+func short(p kregret.Point) string {
+	s := "["
+	for i, x := range p {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f", x)
+	}
+	return s + "]"
+}
+
+func normalize(w []float64) kregret.Point {
+	var n float64
+	for _, x := range w {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	out := make(kregret.Point, len(w))
+	for i, x := range w {
+		out[i] = x / n
+	}
+	return out
+}
+
+// generateHotels builds a synthetic hotel table with the usual
+// trade-offs: central hotels cost more, high ratings cost more.
+func generateHotels(n int) []kregret.Point {
+	rng := rand.New(rand.NewSource(99))
+	hs := make([]kregret.Point, n)
+	for i := range hs {
+		location := rng.Float64()
+		rating := 0.3 + 0.7*rng.Float64()
+		amenities := rng.Float64()
+		cost := 0.2 + 0.45*location + 0.25*rating + 0.1*amenities + 0.15*rng.NormFloat64()
+		value := 1.2 - cost // larger = cheaper
+		if value < 0.05 {
+			value = 0.05
+		}
+		hs[i] = kregret.Point{value, location + 0.01, rating, amenities + 0.01}
+	}
+	return hs
+}

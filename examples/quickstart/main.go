@@ -1,0 +1,59 @@
+// Quickstart: the smallest useful kregret program.
+//
+// It builds a tiny car database (the paper's Table I plus a few
+// dominated cars), asks for a 2-tuple representative set and shows
+// the guarantee the answer carries: no matter which linear utility
+// function a user has, the best of the two returned cars is within
+// the printed regret of the best car overall.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	kregret "repro"
+)
+
+func main() {
+	// Rows: [miles-per-gallon, horsepower] — larger is better on
+	// both. Values need not be normalized; NewDataset does that.
+	cars := []kregret.Point{
+		{47, 400},   // BMW M3 GTS
+		{38, 465},   // Chevrolet Camaro SS
+		{33.5, 500}, // Ford Shelby GT500
+		{50, 360},   // Nissan 370Z coupe
+		{30, 330},   // dominated: worse than the M3 on both axes
+		{28, 280},   // dominated
+	}
+	names := []string{
+		"BMW M3 GTS", "Chevrolet Camaro SS", "Ford Shelby GT500",
+		"Nissan 370Z coupe", "Mid trim", "Base trim",
+	}
+
+	ds, err := kregret.NewDataset(cars)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ans, err := ds.Query(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("show these %d cars to every customer:\n", len(ans.Indices))
+	for _, i := range ans.Indices {
+		fmt.Printf("  - %s (mpg=%.1f, hp=%.0f)\n", names[i], cars[i][0], cars[i][1])
+	}
+	fmt.Printf("maximum regret ratio: %.1f%%\n", 100*ans.MRR)
+	fmt.Println("→ whatever weights a customer puts on MPG vs HP, the best")
+	fmt.Printf("  of these is within %.1f%% of their true favourite's utility.\n", 100*ans.MRR)
+
+	// Which customer is worst served, and what would they have wanted?
+	if weights, witness, err := ds.WorstUtility(ans.Indices); err == nil && witness >= 0 {
+		fmt.Printf("worst served: a customer weighting (mpg, hp) ≈ (%.2f, %.2f),\n",
+			weights[0], weights[1])
+		fmt.Printf("who would have preferred the %s.\n", names[witness])
+	}
+}

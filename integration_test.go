@@ -1,0 +1,214 @@
+package kregret
+
+// End-to-end integration tests: the full pipeline over every
+// generator and every real-data stand-in at reduced scale, plus
+// cross-candidate-set invariants discovered during the reproduction.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func vectorsToPoints(vs []geom.Vector) []Point {
+	out := make([]Point, len(vs))
+	for i, v := range vs {
+		out[i] = Point(v)
+	}
+	return out
+}
+
+func TestPipelineOnAllGenerators(t *testing.T) {
+	gens := map[string]func() ([]geom.Vector, error){
+		"independent":    func() ([]geom.Vector, error) { return dataset.Independent(800, 4, 1) },
+		"correlated":     func() ([]geom.Vector, error) { return dataset.Correlated(800, 4, 1) },
+		"anticorrelated": func() ([]geom.Vector, error) { return dataset.AntiCorrelated(800, 4, 1) },
+		"clustered":      func() ([]geom.Vector, error) { return dataset.Clustered(800, 4, 3, 1) },
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			raw, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := NewDataset(vectorsToPoints(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sky, err := ds.Skyline()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hp, err := ds.HappyPoints()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conv, err := ds.ConvexPoints()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(len(conv) <= len(hp) && len(hp) <= len(sky)) {
+				t.Fatalf("Lemma 3 violated: %d/%d/%d", len(conv), len(hp), len(sky))
+			}
+			ans, err := ds.Query(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mrr, err := ds.EvaluateMRR(ans.Indices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(mrr-ans.MRR) > 1e-6 {
+				t.Fatalf("reported %v vs evaluated %v", ans.MRR, mrr)
+			}
+		})
+	}
+}
+
+func TestPipelineOnAllStandIns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range dataset.RealNames {
+		t.Run(string(name), func(t *testing.T) {
+			raw, err := dataset.RealScaled(name, 3000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := NewDataset(vectorsToPoints(raw), WithoutNormalization())
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx, err := ds.BuildIndex()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := 2.0
+			for _, k := range []int{5, 10, 20} {
+				direct, err := ds.Query(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				viaIdx, err := idx.Query(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(direct.MRR-viaIdx.MRR) > 1e-9 {
+					t.Fatalf("k=%d: direct %v vs index %v", k, direct.MRR, viaIdx.MRR)
+				}
+				if direct.MRR > prev+1e-9 {
+					t.Fatalf("regret rose with k at %d", k)
+				}
+				prev = direct.MRR
+				grd, err := ds.Query(k, WithAlgorithm(AlgoGreedy))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(grd.MRR-direct.MRR) > 1e-6 {
+					t.Fatalf("k=%d: Greedy %v vs GeoGreedy %v", k, grd.MRR, direct.MRR)
+				}
+			}
+		})
+	}
+}
+
+// TestGreedyPicksOnlyHappyPoints pins a fact this reproduction
+// established while investigating why our Figure 8 coincides with
+// Figure 7 (EXPERIMENTS.md): on normalized, tie-free data the greedy
+// skeleton can never select a non-happy candidate, because a
+// subjugated point q ≤ λ·p + Σμ_i·e_i has dual support
+// ≤ λ·support(p) + (1−λ) < support(p) while its subjugator p is
+// unselected (support > 1), and ≤ 1 afterwards.
+func TestGreedyPicksOnlyHappyPoints(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		raw, err := dataset.AntiCorrelated(600, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := NewDataset(vectorsToPoints(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp, err := ds.HappyPoints()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inHappy := make(map[int]bool, len(hp))
+		for _, i := range hp {
+			inHappy[i] = true
+		}
+		ans, err := ds.Query(12, WithCandidates(CandidatesAll))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range ans.Indices {
+			if !inHappy[i] {
+				t.Fatalf("seed %d: greedy over all candidates selected non-happy point %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestCSVPipelineRoundTrip exercises datagen-style output through the
+// public API as cmd/kregret does.
+func TestCSVPipelineRoundTrip(t *testing.T) {
+	raw, err := dataset.AntiCorrelated(300, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/pts.csv"
+	if err := dataset.WriteCSVFile(path, raw, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds1, err := NewDataset(vectorsToPoints(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := NewDataset(vectorsToPoints(back))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := ds1.Query(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := ds2.Query(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1.MRR-a2.MRR) > 1e-12 {
+		t.Fatalf("CSV round trip changed the answer: %v vs %v", a1.MRR, a2.MRR)
+	}
+}
+
+// TestExactVsGreedyGap2D measures the greedy's optimality gap on 2-D
+// data using the exact solver: greedy regret is never better than
+// optimal and typically close.
+func TestExactVsGreedyGap2D(t *testing.T) {
+	raw, err := dataset.AntiCorrelated(500, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geom.Vector, len(raw))
+	copy(pts, raw)
+	for _, k := range []int{3, 5, 8} {
+		exact, err := core.Exact2D(pts, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := core.GeoGreedy(pts, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.MRR > greedy.MRR+1e-6 {
+			t.Fatalf("k=%d: exact %v worse than greedy %v", k, exact.MRR, greedy.MRR)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/happy"
+	"repro/internal/lp"
+)
+
+// ConvexHullPoints returns the indices of D_conv: the points of pts
+// that are extreme points of Conv(pts) (the orthotope convex hull of
+// the paper). By Lemma 3 D_conv ⊆ D_happy, so the happy filter is
+// applied first and each surviving point p is tested for coverage:
+// p is NOT extreme iff it lies in the downward-closed hull of the
+// other candidates, i.e. iff the covering LP
+//
+//	minimize  Σ_q y_q
+//	subject to Σ_q y_q·q[j] ≥ p[j]  for every dimension j,  y ≥ 0
+//
+// (over the other happy points q) has optimum ≤ 1. The LP has only d
+// constraints, so it stays fast even with thousands of candidate
+// columns. Exact duplicates of p are excluded from the covering set
+// so that repeated extreme points are still reported (each copy once).
+func ConvexHullPoints(pts []geom.Vector) ([]int, error) {
+	if _, err := validatePoints(pts); err != nil {
+		return nil, err
+	}
+	hp, err := happy.Compute(pts)
+	if err != nil {
+		return nil, fmt.Errorf("core: happy filter for hull extraction: %w", err)
+	}
+	return convexAmong(pts, hp)
+}
+
+// ConvexAmongHappy is ConvexHullPoints for callers that already hold
+// the happy index set.
+func ConvexAmongHappy(pts []geom.Vector, happyIdx []int) ([]int, error) {
+	if _, err := validatePoints(pts); err != nil {
+		return nil, err
+	}
+	for _, i := range happyIdx {
+		if i < 0 || i >= len(pts) {
+			return nil, fmt.Errorf("%w: %d (n=%d)", ErrBadSubset, i, len(pts))
+		}
+	}
+	return convexAmong(pts, happyIdx)
+}
+
+func convexAmong(pts []geom.Vector, cand []int) ([]int, error) {
+	if len(cand) == 0 {
+		return nil, nil
+	}
+	d := len(pts[0])
+	var out []int
+	for _, pi := range cand {
+		p := pts[pi]
+		// Covering set: the other candidates, minus exact duplicates
+		// of p.
+		cols := make([]int, 0, len(cand)-1)
+		for _, qi := range cand {
+			if qi == pi || pts[qi].Equal(p, 0) {
+				continue
+			}
+			cols = append(cols, qi)
+		}
+		extreme := true
+		if len(cols) > 0 {
+			covered, err := coverable(pts, cols, p, d)
+			if err != nil {
+				return nil, err
+			}
+			extreme = !covered
+		}
+		if extreme {
+			out = append(out, pi)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// coverable solves the covering LP and reports whether the optimum
+// is ≤ 1 (p is dominated by a convex combination, hence interior or
+// on a face without being a vertex).
+func coverable(pts []geom.Vector, cols []int, p geom.Vector, d int) (bool, error) {
+	obj := make([]float64, len(cols))
+	for i := range obj {
+		obj[i] = 1
+	}
+	cons := make([]lp.Constraint, d)
+	for j := 0; j < d; j++ {
+		coeffs := make([]float64, len(cols))
+		for i, qi := range cols {
+			coeffs[i] = pts[qi][j]
+		}
+		cons[j] = lp.Constraint{Coeffs: coeffs, Rel: lp.GE, RHS: p[j]}
+	}
+	sol, err := lp.Solve(&lp.Problem{Objective: obj, Maximize: false, Constraints: cons})
+	if err != nil {
+		return false, fmt.Errorf("core: hull covering LP: %w", err)
+	}
+	switch sol.Status {
+	case lp.Optimal:
+		return sol.Objective <= 1+1e-7, nil
+	case lp.Infeasible:
+		// Cannot cover p at all (it has the strict per-dimension
+		// maximum somewhere): definitely extreme.
+		return false, nil
+	default:
+		return false, fmt.Errorf("core: hull covering LP unexpectedly %v", sol.Status)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+// Cross-oracle tests: the general d-dimensional dual machinery must
+// agree with the independent exact 2-D implementation (hull2d) on
+// planar inputs, and the happy filter must agree with the geometric
+// critical-ratio picture.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/happy"
+	"repro/internal/hull2d"
+)
+
+// TestDualCriticalRatioMatchesHull2D: cr(q, S) from the dual polytope
+// equals the planar ray/segment computation.
+func TestDualCriticalRatioMatchesHull2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(30)
+		pts := antiCorrelated(rng, n, 2)
+		selN := 2 + rng.Intn(n-1)
+		sel := rng.Perm(n)[:selN]
+
+		selPts := make([]hull2d.Point, 0, selN)
+		for _, s := range sel {
+			selPts = append(selPts, hull2d.Point{X: pts[s][0], Y: pts[s][1]})
+		}
+		for probe := 0; probe < 5; probe++ {
+			q := pts[rng.Intn(n)]
+			viaDual, err := CriticalRatioOf(pts, sel, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			via2D, err := hull2d.CriticalRatio(selPts, hull2d.Point{X: q[0], Y: q[1]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(viaDual-via2D) > 1e-6*(1+via2D) {
+				t.Fatalf("trial %d: dual %v vs hull2d %v (q=%v sel=%v)",
+					trial, viaDual, via2D, q, sel)
+			}
+		}
+	}
+}
+
+// TestHappyAgreesWithCriticalRatioPicture: a point that is strictly
+// inside Conv(D \ {p}) with critical ratio comfortably above 1 ought
+// not to be a hull extreme point, and hull extreme points always have
+// cr ≤ 1 against the others.
+func TestHappyAgreesWithCriticalRatioPicture(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(25)
+		pts := antiCorrelated(rng, n, 3)
+		hp, err := happy.Compute(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conv, err := ConvexAmongHappy(pts, hp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inConv := map[int]bool{}
+		for _, c := range conv {
+			inConv[c] = true
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		for i := 0; i < n; i++ {
+			others := make([]int, 0, n-1)
+			for _, j := range all {
+				if j != i {
+					others = append(others, j)
+				}
+			}
+			cr, err := CriticalRatioOf(pts, others, pts[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inConv[i] && cr > 1+1e-7 {
+				t.Fatalf("trial %d: extreme point %d strictly inside others' hull (cr=%v)", trial, i, cr)
+			}
+			if !inConv[i] && cr < 1-1e-7 {
+				t.Fatalf("trial %d: non-extreme point %d outside others' hull (cr=%v)", trial, i, cr)
+			}
+		}
+	}
+}
+
+// FuzzSubjugates cross-validates the fast O(d²) subjugation test
+// against the explicit facet-enumeration oracle on fuzzer-generated
+// planar and 3-d points.
+func FuzzSubjugates(f *testing.F) {
+	f.Add(0.5, 0.5, 0.5, 0.4, 0.4, 0.4)
+	f.Add(0.1, 1.0, 1.0, 0.2, 0.9, 0.9)
+	f.Add(1.0, 0.05, 0.3, 0.9, 0.1, 0.31)
+	f.Fuzz(func(t *testing.T, a, b, c, x, y, z float64) {
+		clamp := func(v float64) float64 {
+			v = math.Abs(v)
+			v = math.Mod(v, 1)
+			if v < 0.01 {
+				v = 0.01
+			}
+			return v
+		}
+		p := geom.Vector{clamp(a), clamp(b), clamp(c)}
+		q := geom.Vector{clamp(x), clamp(y), clamp(z)}
+		fast, err1 := happy.Subjugates(p, q)
+		oracle, err2 := happy.SubjugatesByPlanes(p, q)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if fast != oracle {
+			// Tolerance boundaries can legitimately disagree; accept
+			// only if q is within eps of a facet of Y(p).
+			planes, err := happy.EnumeratePlanes(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range planes {
+				if math.Abs(h.Eval(q)) < 1e-7 {
+					return
+				}
+			}
+			if math.Abs(happy.Membership(p, q)-1) < 1e-7 {
+				return
+			}
+			t.Fatalf("Subjugates(%v, %v) = %v, oracle %v", p, q, fast, oracle)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// ErrEmptySelection is returned when evaluating an empty selection.
+var ErrEmptySelection = errors.New("core: empty selection")
+
+// checkSelection validates a selection index set against the dataset.
+func checkSelection(pts []geom.Vector, sel []int) error {
+	if len(sel) == 0 {
+		return ErrEmptySelection
+	}
+	for _, i := range sel {
+		if i < 0 || i >= len(pts) {
+			return fmt.Errorf("%w: %d (n=%d)", ErrBadSubset, i, len(pts))
+		}
+	}
+	return nil
+}
+
+// MRRGeometric computes the exact maximum regret ratio of the
+// selection sel over the dataset pts using the paper's Lemma 1:
+// mrr(S) = 1 − min_q cr(q, S), with critical ratios read off the dual
+// hull of S. This is the reference evaluation used by all experiment
+// harnesses.
+func MRRGeometric(pts []geom.Vector, sel []int) (float64, error) {
+	if _, err := validatePoints(pts); err != nil {
+		return 0, err
+	}
+	if err := checkSelection(pts, sel); err != nil {
+		return 0, err
+	}
+	selPts := make([]geom.Vector, len(sel))
+	for i, s := range sel {
+		selPts[i] = pts[s]
+	}
+	hull, err := newDualHull(maxPerDim(selPts))
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range selPts {
+		if _, err := hull.insert(p); err != nil {
+			return 0, err
+		}
+	}
+	maxSupport := 1.0
+	for _, q := range pts {
+		if s, _ := hull.supportOf(q); s > maxSupport {
+			maxSupport = s
+		}
+	}
+	if maxSupport <= 1 {
+		return 0, nil
+	}
+	return 1 - 1/maxSupport, nil
+}
+
+// MRRByLP computes the same quantity with one linear program per
+// dataset point (the formulation the Greedy baseline uses). It is
+// slower than MRRGeometric and exists as an independent oracle: the
+// two must agree to tolerance on every input.
+func MRRByLP(pts []geom.Vector, sel []int) (float64, error) {
+	if _, err := validatePoints(pts); err != nil {
+		return 0, err
+	}
+	if err := checkSelection(pts, sel); err != nil {
+		return 0, err
+	}
+	mrr := 0.0
+	for _, q := range pts {
+		z, err := supportByLP(pts, sel, q)
+		if err != nil {
+			return 0, err
+		}
+		if math.IsInf(z, 1) {
+			return 1, nil // selection does not span all dimensions
+		}
+		if z > 1 {
+			if r := 1 - 1/z; r > mrr {
+				mrr = r
+			}
+		}
+	}
+	return mrr, nil
+}
+
+// MRRSampled estimates the maximum regret ratio by evaluating the
+// regret of `samples` random linear utility functions with weight
+// vectors uniform on the non-negative unit sphere. It lower-bounds
+// the exact value and converges to it; useful as a sanity oracle and
+// for utility classes without geometric structure.
+func MRRSampled(pts []geom.Vector, sel []int, samples int, seed int64) (float64, error) {
+	if _, err := validatePoints(pts); err != nil {
+		return 0, err
+	}
+	if err := checkSelection(pts, sel); err != nil {
+		return 0, err
+	}
+	if samples < 1 {
+		return 0, fmt.Errorf("core: samples must be positive, got %d", samples)
+	}
+	d := len(pts[0])
+	rng := rand.New(rand.NewSource(seed))
+	worst := 0.0
+	for s := 0; s < samples; s++ {
+		w := randomUtility(rng, d)
+		r := regretOf(pts, sel, w)
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst, nil
+}
+
+// AverageRegretSampled estimates the average regret ratio of the
+// selection over utility functions drawn uniformly from the
+// non-negative unit sphere — the paper's first "future direction"
+// (Section VIII), provided as an extension.
+func AverageRegretSampled(pts []geom.Vector, sel []int, samples int, seed int64) (float64, error) {
+	if _, err := validatePoints(pts); err != nil {
+		return 0, err
+	}
+	if err := checkSelection(pts, sel); err != nil {
+		return 0, err
+	}
+	if samples < 1 {
+		return 0, fmt.Errorf("core: samples must be positive, got %d", samples)
+	}
+	d := len(pts[0])
+	rng := rand.New(rand.NewSource(seed))
+	var sum float64
+	for s := 0; s < samples; s++ {
+		sum += regretOf(pts, sel, randomUtility(rng, d))
+	}
+	return sum / float64(samples), nil
+}
+
+// RegretOf returns rr(S, f) for the linear utility with weight
+// vector w (Definition 1): 1 − max_{p∈S} w·p / max_{q∈D} w·q.
+func RegretOf(pts []geom.Vector, sel []int, w geom.Vector) (float64, error) {
+	if _, err := validatePoints(pts); err != nil {
+		return 0, err
+	}
+	if err := checkSelection(pts, sel); err != nil {
+		return 0, err
+	}
+	if err := geom.CheckSameDim(pts[0], w); err != nil {
+		return 0, fmt.Errorf("core: utility weights: %w", err)
+	}
+	if !w.NonNegative(0) {
+		return 0, fmt.Errorf("core: utility weights must be non-negative, got %v", w)
+	}
+	return regretOf(pts, sel, w), nil
+}
+
+func regretOf(pts []geom.Vector, sel []int, w geom.Vector) float64 {
+	bestAll := math.Inf(-1)
+	for _, p := range pts {
+		if u := w.Dot(p); u > bestAll {
+			bestAll = u
+		}
+	}
+	bestSel := math.Inf(-1)
+	for _, i := range sel {
+		if u := w.Dot(pts[i]); u > bestSel {
+			bestSel = u
+		}
+	}
+	if bestAll <= 0 {
+		return 0
+	}
+	r := 1 - bestSel/bestAll
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// randomUtility draws a weight vector uniformly from the unit sphere
+// restricted to the non-negative orthant (absolute Gaussian
+// components, normalized).
+func randomUtility(rng *rand.Rand, d int) geom.Vector {
+	w := make(geom.Vector, d)
+	for {
+		var norm float64
+		for j := range w {
+			w[j] = math.Abs(rng.NormFloat64())
+			norm += w[j] * w[j]
+		}
+		if norm > 1e-18 {
+			norm = math.Sqrt(norm)
+			for j := range w {
+				w[j] /= norm
+			}
+			return w
+		}
+	}
+}
+
+// WorstUtility returns a maximum regret ratio function of the
+// selection (Definition 2): the facet normal of Conv(S) whose
+// critical point realizes the minimum critical ratio, normalized to
+// unit length, together with the index of the witness point in pts
+// that attains the regret. When the regret is zero it returns a nil
+// vector and witness −1.
+func WorstUtility(pts []geom.Vector, sel []int) (geom.Vector, int, error) {
+	if _, err := validatePoints(pts); err != nil {
+		return nil, -1, err
+	}
+	if err := checkSelection(pts, sel); err != nil {
+		return nil, -1, err
+	}
+	selPts := make([]geom.Vector, len(sel))
+	for i, s := range sel {
+		selPts[i] = pts[s]
+	}
+	hull, err := newDualHull(maxPerDim(selPts))
+	if err != nil {
+		return nil, -1, err
+	}
+	for _, p := range selPts {
+		if _, err := hull.insert(p); err != nil {
+			return nil, -1, err
+		}
+	}
+	maxSupport, witness := 1.0+geom.Eps, -1
+	var worst geom.Vector
+	for qi, q := range pts {
+		if s, v := hull.supportOf(q); s > maxSupport && v != nil {
+			maxSupport = s
+			witness = qi
+			worst = v.Point
+		}
+	}
+	if witness < 0 {
+		return nil, -1, nil
+	}
+	w, err := worst.Normalize()
+	if err != nil {
+		return nil, -1, fmt.Errorf("core: degenerate worst-case utility: %w", err)
+	}
+	return w, witness, nil
+}
+
+// SupportByLPForTest exposes the Greedy candidate LP to tests in
+// other packages (cross-checking GeoGreedy's dual support values).
+func SupportByLPForTest(pts []geom.Vector, sel []int, q geom.Vector) (float64, error) {
+	return supportByLP(pts, sel, q)
+}

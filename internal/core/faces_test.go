@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/hull2d"
+)
+
+func TestFacesOfSquare(t *testing.T) {
+	// One point (1,1): Conv is the unit square; non-origin faces are
+	// x ≤ 1 and y ≤ 1.
+	pts := []geom.Vector{{1, 1}}
+	faces, err := FacesOf(pts, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faces) != 2 {
+		t.Fatalf("%d faces, want 2: %v", len(faces), faces)
+	}
+	if !faces[0].Normal.Equal(geom.Vector{0, 1}, 1e-9) || !faces[1].Normal.Equal(geom.Vector{1, 0}, 1e-9) {
+		t.Fatalf("faces %v", faces)
+	}
+}
+
+// TestFacesSupportEverySelectedPoint: each selected point lies on at
+// least one face and below none.
+func TestFacesSupportSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(3)
+		pts := antiCorrelated(rng, 30, d)
+		res, err := GeoGreedy(pts, d+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faces, err := FacesOf(pts, res.Indices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(faces) == 0 {
+			t.Fatal("no faces")
+		}
+		for _, si := range res.Indices {
+			p := pts[si]
+			onSome := false
+			for _, f := range faces {
+				v := f.Normal.Dot(p) - f.Offset
+				if v > 1e-7 {
+					t.Fatalf("selected point %v above face %v", p, f)
+				}
+				if math.Abs(v) <= 1e-7 {
+					onSome = true
+				}
+			}
+			// Greedy-selected points are hull extreme points of the
+			// selection, hence on the boundary.
+			if !onSome {
+				t.Fatalf("selected point %v on no face", p)
+			}
+		}
+		// Every dataset point's critical ratio is consistent with the
+		// face-wise ray computation.
+		for probe := 0; probe < 5; probe++ {
+			q := pts[rng.Intn(len(pts))]
+			cr, err := CriticalRatioOf(pts, res.Indices, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Direct ray computation over faces: the exit scale is
+			// min over faces of Offset/(Normal·q).
+			exit := math.Inf(1)
+			for _, f := range faces {
+				den := f.Normal.Dot(q)
+				if den > 1e-12 {
+					if s := f.Offset / den; s < exit {
+						exit = s
+					}
+				}
+			}
+			if math.Abs(cr-exit) > 1e-6*(1+exit) {
+				t.Fatalf("cr %v vs face-ray %v", cr, exit)
+			}
+		}
+	}
+}
+
+// TestFacesMatch2DChain: in two dimensions the faces must reproduce
+// the hull2d upper-right chain segments plus the two axis-touching
+// faces.
+func TestFacesMatch2DChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	pts := antiCorrelated(rng, 40, 2)
+	// Select everything so Conv(S) = Conv(D).
+	all := make([]int, len(pts))
+	for i := range all {
+		all[i] = i
+	}
+	faces, err := FacesOf(pts, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := hull2d.FromVectors(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := hull2d.UpperRightChain(p2)
+	// Faces between consecutive chain points plus the two axis faces:
+	// |chain| + 1 faces in total.
+	want := len(chain) + 1
+	if len(faces) != want {
+		t.Fatalf("%d faces, want %d (chain %d)", len(faces), want, len(chain))
+	}
+}
+
+func TestCriticalRatioOfValidation(t *testing.T) {
+	pts := []geom.Vector{{1, 1}}
+	if _, err := CriticalRatioOf(pts, []int{0}, geom.Vector{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := CriticalRatioOf(pts, []int{0}, geom.Vector{0, 1}); err == nil {
+		t.Fatal("non-positive query accepted")
+	}
+	if _, err := CriticalRatioOf(pts, nil, geom.Vector{1, 1}); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+	// Interior, boundary, exterior classification.
+	cr, err := CriticalRatioOf(pts, []int{0}, geom.Vector{0.5, 0.5})
+	if err != nil || cr <= 1 {
+		t.Fatalf("interior cr %v, %v", cr, err)
+	}
+	cr, err = CriticalRatioOf(pts, []int{0}, geom.Vector{1, 1})
+	if err != nil || math.Abs(cr-1) > 1e-9 {
+		t.Fatalf("boundary cr %v, %v", cr, err)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// GeoGreedy runs Algorithm 1 of the paper on the candidate points:
+// seed with the d dimension boundary points, then repeatedly insert
+// the candidate with the smallest critical ratio for the current
+// selection, stopping early once every remaining candidate has
+// critical ratio ≥ 1 (regret zero). Critical ratios come from the
+// incrementally maintained dual hull; per Section IV-A only the
+// candidates whose cached face was destroyed by an insertion are
+// re-located, and only against the faces the insertion created.
+//
+// Candidates should normally be the happy points (Lemma 2); running
+// on the skyline or the raw dataset is allowed and reproduces the
+// paper's D_sky experiments.
+func GeoGreedy(pts []geom.Vector, k int) (*Result, error) {
+	return geoGreedyTrace(pts, k, nil)
+}
+
+// GeoGreedyTrace is GeoGreedy plus a per-insertion callback: after
+// every selection step the callback receives the selected index and
+// the maximum regret ratio of the selection so far. StoredList uses
+// it to materialize the full insertion order with prefix regrets.
+func GeoGreedyTrace(pts []geom.Vector, k int, onSelect func(index int, mrrSoFar float64)) (*Result, error) {
+	return geoGreedyTrace(pts, k, onSelect)
+}
+
+// candState caches, for one unselected candidate, the dual vertex
+// currently maximizing v·q (the face its critical ray crosses) and
+// the value there.
+type candState struct {
+	bestVal float64
+	bestID  int
+	taken   bool
+}
+
+func geoGreedyTrace(pts []geom.Vector, k int, onSelect func(int, float64)) (*Result, error) {
+	d, err := validatePoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+
+	hull, err := newDualHull(maxPerDim(pts))
+	if err != nil {
+		return nil, err
+	}
+
+	selected := make([]int, 0, k)
+	states := make([]candState, len(pts))
+
+	// Seed: the per-dimension boundary points (at most d, fewer on
+	// duplicates; truncated if k < d, in which case the regret is
+	// unbounded per the paper's Section VII discussion but the
+	// algorithm still returns its best effort).
+	seeds := BoundaryPoints(pts)
+	truncatedSeeds := len(seeds) > k
+	if truncatedSeeds {
+		seeds = seeds[:k]
+	}
+	for _, i := range seeds {
+		if _, err := hull.insert(pts[i]); err != nil {
+			return nil, err
+		}
+		states[i].taken = true
+		selected = append(selected, i)
+	}
+	_ = d
+
+	// Initial face assignment for every remaining candidate.
+	for i := range pts {
+		if states[i].taken {
+			continue
+		}
+		val, v := hull.supportOf(pts[i])
+		states[i].bestVal, states[i].bestID = val, v.ID
+	}
+	if onSelect != nil {
+		mrr := currentMRR(states)
+		for _, i := range seeds {
+			onSelect(i, mrr)
+		}
+	}
+
+	exhausted := -1
+	for len(selected) < k {
+		// Candidate with the smallest critical ratio = largest
+		// support value.
+		best := -1
+		bestVal := 1.0 + geom.Eps
+		for i := range states {
+			if !states[i].taken && states[i].bestVal > bestVal {
+				best, bestVal = i, states[i].bestVal
+			}
+		}
+		if best < 0 {
+			// Every remaining candidate is inside the hull:
+			// cr ≥ 1 ⟹ mrr = 0 (Algorithm 1, line 8).
+			exhausted = len(selected)
+			break
+		}
+		res, err := hull.insert(pts[best])
+		if err != nil {
+			return nil, err
+		}
+		states[best].taken = true
+		selected = append(selected, best)
+
+		// Incremental re-location: only candidates whose cached face
+		// was removed rescan, and only over the faces of the new cap
+		// (created vertices plus kept vertices on the new plane).
+		if len(res.RemovedIDs) > 0 {
+			removed := make(map[int]bool, len(res.RemovedIDs))
+			for _, id := range res.RemovedIDs {
+				removed[id] = true
+			}
+			for i := range states {
+				st := &states[i]
+				if st.taken || !removed[st.bestID] {
+					continue
+				}
+				newVal := math.Inf(-1)
+				newID := -1
+				for _, v := range res.Added {
+					if dot := v.Point.Dot(pts[i]); dot > newVal {
+						newVal, newID = dot, v.ID
+					}
+				}
+				for _, v := range res.OnPlane {
+					if dot := v.Point.Dot(pts[i]); dot > newVal {
+						newVal, newID = dot, v.ID
+					}
+				}
+				st.bestVal, st.bestID = newVal, newID
+			}
+		}
+		if onSelect != nil {
+			onSelect(best, currentMRR(states))
+		}
+	}
+
+	mrr := currentMRR(states)
+	if truncatedSeeds {
+		// With k below the number of dimension boundary points, the
+		// dual hull's box bounds (implied only by the full seed set)
+		// clip Q(S), so cached supports underestimate the regret —
+		// the paper's unbounded k < d regime (Section VII).
+		// Re-evaluate exactly from the selection alone.
+		exact, err := MRRGeometric(pts, selected)
+		if err != nil {
+			return nil, err
+		}
+		mrr = exact
+	}
+	return &Result{
+		Indices:     selected,
+		MRR:         mrr,
+		ExhaustedAt: exhausted,
+	}, nil
+}
+
+// currentMRR computes 1 − min cr over unselected candidates from the
+// cached support values (Lemma 1), clamped at zero.
+func currentMRR(states []candState) float64 {
+	maxVal := 1.0
+	for i := range states {
+		if !states[i].taken && states[i].bestVal > maxVal {
+			maxVal = states[i].bestVal
+		}
+	}
+	if maxVal <= 1 {
+		return 0
+	}
+	return 1 - 1/maxVal
+}

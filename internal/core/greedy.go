@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/lp"
+)
+
+// Greedy is the best-known baseline the paper compares against
+// (Nanongkai et al., VLDB 2010): the same greedy skeleton as
+// GeoGreedy, but each iteration finds the candidate contributing the
+// maximum regret ratio by solving one linear program per candidate —
+// the "time-consuming constrained programming" of the paper's
+// Section IV-A. For candidate q and selection S the LP is
+//
+//	maximize   ω·q
+//	subject to ω·p ≤ 1 for every p ∈ S,   ω ≥ 0 ;
+//
+// its optimum z equals 1/cr(q, S), so the candidate with the largest
+// optimum is the one GeoGreedy finds geometrically, and the regret
+// contributed is 1 − 1/z. Greedy and GeoGreedy therefore return the
+// same selection (ties aside) — property-tested — while their
+// runtime profiles differ exactly as the paper reports.
+func Greedy(pts []geom.Vector, k int) (*Result, error) {
+	_, err := validatePoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+
+	taken := make([]bool, len(pts))
+	selected := make([]int, 0, k)
+	seeds := BoundaryPoints(pts)
+	if len(seeds) > k {
+		seeds = seeds[:k]
+	}
+	for _, i := range seeds {
+		taken[i] = true
+		selected = append(selected, i)
+	}
+
+	exhausted := -1
+	lastMax := math.Inf(1)
+	for len(selected) < k {
+		best, bestVal := -1, 1.0+geom.Eps
+		for i := range pts {
+			if taken[i] {
+				continue
+			}
+			z, err := supportByLP(pts, selected, pts[i])
+			if err != nil {
+				return nil, err
+			}
+			if z > bestVal {
+				best, bestVal = i, z
+			}
+		}
+		if best < 0 {
+			exhausted = len(selected)
+			lastMax = 1
+			break
+		}
+		taken[best] = true
+		selected = append(selected, best)
+		lastMax = bestVal
+	}
+	_ = lastMax
+
+	// Final regret over the remaining candidates. An unbounded
+	// candidate LP means the selection does not span all dimensions
+	// (k below the seed count); fall back to the exact geometric
+	// evaluation so Greedy and GeoGreedy stay comparable there.
+	mrr := 0.0
+	for i := range pts {
+		if taken[i] {
+			continue
+		}
+		z, err := supportByLP(pts, selected, pts[i])
+		if err != nil {
+			return nil, err
+		}
+		if math.IsInf(z, 1) {
+			exact, err := MRRGeometric(pts, selected)
+			if err != nil {
+				return nil, err
+			}
+			mrr = exact
+			break
+		}
+		if z > 1 {
+			if r := 1 - 1/z; r > mrr {
+				mrr = r
+			}
+		}
+	}
+
+	return &Result{Indices: selected, MRR: mrr, ExhaustedAt: exhausted}, nil
+}
+
+// supportByLP solves max{ω·q : ω ≥ 0, ω·pts[i] ≤ 1 ∀i ∈ selected}.
+// The optimum is 1/cr(q, S). Unbounded LPs (possible only when the
+// selection does not yet span every dimension, e.g. k < d) are
+// reported as +Inf.
+func supportByLP(pts []geom.Vector, selected []int, q geom.Vector) (float64, error) {
+	cons := make([]lp.Constraint, len(selected))
+	for i, si := range selected {
+		cons[i] = lp.Constraint{Coeffs: pts[si], Rel: lp.LE, RHS: 1}
+	}
+	sol, err := lp.Solve(&lp.Problem{Objective: q, Maximize: true, Constraints: cons})
+	if err != nil {
+		return 0, fmt.Errorf("core: greedy candidate LP: %w", err)
+	}
+	switch sol.Status {
+	case lp.Optimal:
+		return sol.Objective, nil
+	case lp.Unbounded:
+		return math.Inf(1), nil
+	default:
+		// ω = 0 is always feasible; infeasibility indicates a solver
+		// failure.
+		return 0, fmt.Errorf("core: greedy candidate LP unexpectedly %v", sol.Status)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// StoredList is the paper's materialization of GeoGreedy
+// (Section IV-B): preprocessing runs GeoGreedy over the candidate set
+// with k = |candidates| and stores the insertion order; a query for
+// any k then returns the first min(k, len) entries in O(k), with the
+// prefix regret already known.
+//
+// The zero value is not usable; construct with BuildStoredList.
+type StoredList struct {
+	order []int
+	// mrrAt[i] is the maximum regret ratio of the prefix of length
+	// i+1 (measured against the candidate set).
+	mrrAt []float64
+	dim   int
+	nCand int
+	// complete records whether the whole greedy order was
+	// materialized (BuildStoredList) or only a prefix
+	// (BuildStoredListUpTo); queries beyond an incomplete list are
+	// rejected rather than silently under-answered.
+	complete bool
+}
+
+// ErrBeyondList is returned by Query when k exceeds the materialized
+// prefix of a partially built list.
+var ErrBeyondList = errors.New("core: k beyond the materialized stored-list prefix")
+
+// BuildStoredList runs the preprocessing phase over the candidates
+// (normally the happy points). This is the expensive step — the
+// paper's "total time" of StoredList is the largest of the three
+// algorithms because of it — while Query is then near-free.
+func BuildStoredList(pts []geom.Vector) (*StoredList, error) {
+	s, err := BuildStoredListUpTo(pts, len(pts))
+	if err != nil {
+		return nil, err
+	}
+	s.complete = true
+	return s, nil
+}
+
+// BuildStoredListUpTo materializes only the first maxLen entries of
+// the greedy order — enough to serve every query with k ≤ maxLen at
+// a fraction of the full preprocessing cost. The returned list
+// rejects larger ks with ErrBeyondList (unless the greedy exhausted
+// the hull before maxLen, in which case the list is complete anyway).
+func BuildStoredListUpTo(pts []geom.Vector, maxLen int) (*StoredList, error) {
+	d, err := validatePoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	if maxLen < 1 {
+		return nil, ErrBadK
+	}
+	if maxLen > len(pts) {
+		maxLen = len(pts)
+	}
+	s := &StoredList{dim: d, nCand: len(pts)}
+	res, err := GeoGreedyTrace(pts, maxLen, func(idx int, mrr float64) {
+		s.order = append(s.order, idx)
+		s.mrrAt = append(s.mrrAt, mrr)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// An early stop means the prefix already drives the regret to
+	// zero: every possible k is served, so the list is complete even
+	// when maxLen < |candidates|.
+	s.complete = res.ExhaustedAt >= 0 || maxLen >= len(pts)
+	// The trace reports the regret after the whole seed batch (the d
+	// dimension boundary points) for each seed entry; queries with
+	// k below the seed count answer with a shorter prefix, so fix
+	// those entries up by exact evaluation (Lemma 1). This keeps
+	// Query/MRRFor consistent with running GeoGreedy directly at the
+	// same k.
+	seedN := len(BoundaryPoints(pts))
+	for i := 0; i < seedN-1 && i < len(s.order); i++ {
+		mrr, err := MRRGeometric(pts, s.order[:i+1])
+		if err != nil {
+			return nil, err
+		}
+		s.mrrAt[i] = mrr
+	}
+	return s, nil
+}
+
+// Len returns the materialized list length. It can be shorter than
+// the candidate count: GeoGreedy stops once the regret reaches zero,
+// and every further point would be redundant (the prefix already
+// contains all hull extreme points).
+func (s *StoredList) Len() int { return len(s.order) }
+
+// Dim returns the dimensionality of the candidates the list was
+// built from.
+func (s *StoredList) Dim() int { return s.dim }
+
+// Query answers a k-regret query from the materialized list: the
+// first min(k, Len) indices. Equal to GeoGreedy's answer for the
+// same candidates and k by construction. For partially built lists
+// (BuildStoredListUpTo) a k beyond the materialized prefix returns
+// ErrBeyondList.
+func (s *StoredList) Query(k int) ([]int, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	if k > len(s.order) {
+		if !s.complete {
+			return nil, fmt.Errorf("%w: k=%d, materialized %d", ErrBeyondList, k, len(s.order))
+		}
+		k = len(s.order)
+	}
+	out := make([]int, k)
+	copy(out, s.order[:k])
+	return out, nil
+}
+
+// MRRFor returns the maximum regret ratio of the answer Query(k)
+// without recomputation. For k beyond the list length the regret is
+// the final one (zero when the list exhausted the hull).
+func (s *StoredList) MRRFor(k int) (float64, error) {
+	if k < 1 {
+		return 0, ErrBadK
+	}
+	if len(s.mrrAt) == 0 {
+		return 0, fmt.Errorf("core: empty stored list")
+	}
+	if k > len(s.mrrAt) {
+		if !s.complete {
+			return 0, fmt.Errorf("%w: k=%d, materialized %d", ErrBeyondList, k, len(s.mrrAt))
+		}
+		k = len(s.mrrAt)
+	}
+	return s.mrrAt[k-1], nil
+}
+
+// MinK returns the smallest k whose stored-list answer has maximum
+// regret ratio at most eps — the "min-size" dual of the k-regret
+// query (given a regret budget, how many tuples must be shown?).
+// The per-prefix regrets are non-increasing, so a binary search over
+// the materialized list answers in O(log n). If even the full list
+// exceeds eps (possible only for partially materialized lists, or
+// eps < 0), MinK returns 0 and false.
+func (s *StoredList) MinK(eps float64) (int, bool) {
+	if len(s.mrrAt) == 0 {
+		return 0, false
+	}
+	lo, hi := 0, len(s.mrrAt)-1
+	if s.mrrAt[hi] > eps {
+		return 0, false
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.mrrAt[mid] <= eps {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo + 1, true
+}

@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/geom"
+)
+
+// ErrBadCSV flags malformed CSV input.
+var ErrBadCSV = errors.New("dataset: bad csv")
+
+// ReadCSV parses points from CSV. Every record must have the same
+// number of numeric fields; an optional single header row (any
+// non-numeric first record) is skipped. Labels are not supported —
+// every field must parse as a float.
+func ReadCSV(r io.Reader) ([]geom.Vector, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	var pts []geom.Vector
+	d := -1
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCSV, err)
+		}
+		line++
+		p := make(geom.Vector, len(rec))
+		ok := true
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			p[j] = v
+		}
+		if !ok {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("%w: non-numeric field at line %d", ErrBadCSV, line)
+		}
+		if d < 0 {
+			d = len(p)
+		} else if len(p) != d {
+			return nil, fmt.Errorf("%w: line %d has %d fields, want %d", ErrBadCSV, line, len(p), d)
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// ReadCSVFile reads points from a CSV file on disk.
+func ReadCSVFile(path string) ([]geom.Vector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// WriteCSV writes points as CSV with full float64 round-trip
+// precision and an optional header.
+func WriteCSV(w io.Writer, pts []geom.Vector, header []string) error {
+	cw := csv.NewWriter(w)
+	if len(header) > 0 {
+		if len(pts) > 0 && len(header) != len(pts[0]) {
+			return fmt.Errorf("%w: header has %d fields, points have %d", ErrBadCSV, len(header), len(pts[0]))
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+	}
+	rec := make([]string, 0, 16)
+	for _, p := range pts {
+		rec = rec[:0]
+		for _, x := range p {
+			rec = append(rec, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes points to a CSV file on disk.
+func WriteCSVFile(path string, pts []geom.Vector, header []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, pts, header); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,238 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGeneratorShapes(t *testing.T) {
+	type gen func() ([]geom.Vector, error)
+	cases := map[string]gen{
+		"independent":    func() ([]geom.Vector, error) { return Independent(100, 4, 1) },
+		"correlated":     func() ([]geom.Vector, error) { return Correlated(100, 4, 1) },
+		"anticorrelated": func() ([]geom.Vector, error) { return AntiCorrelated(100, 4, 1) },
+		"clustered":      func() ([]geom.Vector, error) { return Clustered(100, 4, 3, 1) },
+	}
+	for name, g := range cases {
+		pts, err := g()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(pts) != 100 {
+			t.Fatalf("%s: %d points", name, len(pts))
+		}
+		for i, p := range pts {
+			if len(p) != 4 {
+				t.Fatalf("%s: point %d has dim %d", name, i, len(p))
+			}
+			for j, x := range p {
+				if !(x > 0) || x > 1 {
+					t.Fatalf("%s: point %d coord %d = %v outside (0,1]", name, i, j, x)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, _ := AntiCorrelated(50, 3, 7)
+	b, _ := AntiCorrelated(50, 3, 7)
+	for i := range a {
+		if !a[i].Equal(b[i], 0) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c, _ := AntiCorrelated(50, 3, 8)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i], 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	if _, err := Independent(-1, 3, 1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := Correlated(10, 0, 1); err == nil {
+		t.Fatal("zero d accepted")
+	}
+	if _, err := Clustered(10, 3, 0, 1); err == nil {
+		t.Fatal("zero clusters accepted")
+	}
+}
+
+func TestAntiCorrelatedIsAntiCorrelated(t *testing.T) {
+	pts, err := AntiCorrelated(5000, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CorrFactor >= 1 {
+		t.Fatalf("anti-correlated CorrFactor = %v, want < 1", s.CorrFactor)
+	}
+	c, _ := Correlated(5000, 5, 3)
+	sc, _ := Summarize(c)
+	if sc.CorrFactor <= 1 {
+		t.Fatalf("correlated CorrFactor = %v, want > 1", sc.CorrFactor)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	pts := []geom.Vector{{2, 10}, {4, 5}}
+	norm, err := Normalize(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !norm[0].Equal(geom.Vector{0.5, 1}, 1e-12) || !norm[1].Equal(geom.Vector{1, 0.5}, 1e-12) {
+		t.Fatalf("Normalize = %v", norm)
+	}
+	// Input untouched.
+	if pts[0][0] != 2 {
+		t.Fatal("Normalize modified input")
+	}
+	if _, err := Normalize(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Normalize([]geom.Vector{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged accepted")
+	}
+	if _, err := Normalize([]geom.Vector{{0, 0}}); err == nil {
+		t.Fatal("all-zero dimension accepted")
+	}
+	if _, err := Normalize([]geom.Vector{{math.NaN(), 1}}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	// Zero coordinates get floored to stay strictly positive.
+	norm, err = Normalize([]geom.Vector{{0, 1}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(norm[0][0] > 0) {
+		t.Fatalf("zero coordinate not floored: %v", norm[0])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := []geom.Vector{{0.125, 0.5}, {1, 0.0009765625}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("round trip size %d", len(got))
+	}
+	for i := range pts {
+		if !got[i].Equal(pts[i], 0) {
+			t.Fatalf("round trip %d: %v vs %v", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestCSVHeaderHandling(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("x,y\n1,2\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][0] != 3 {
+		t.Fatalf("ReadCSV with header = %v", got)
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\nbad,4\n")); err == nil {
+		t.Fatal("non-numeric body accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if err := WriteCSV(&bytes.Buffer{}, []geom.Vector{{1, 2}}, []string{"only"}); err == nil {
+		t.Fatal("mismatched header accepted")
+	}
+}
+
+func TestCSVFiles(t *testing.T) {
+	path := t.TempDir() + "/pts.csv"
+	pts := []geom.Vector{{0.25, 0.75}}
+	if err := WriteCSVFile(path, pts, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Equal(pts[0], 0) {
+		t.Fatalf("file round trip: %v", got)
+	}
+	if _, err := ReadCSVFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSpecs(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 4 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	hh := specs[0]
+	if hh.Name != Household || hh.Dims != 6 || hh.Size != 903077 {
+		t.Fatalf("household spec %+v", hh)
+	}
+	if _, err := Spec("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRealScaledShapes(t *testing.T) {
+	for _, name := range RealNames {
+		spec, _ := Spec(name)
+		pts, err := RealScaled(name, 2000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(pts) != 2000 {
+			t.Fatalf("%s: %d points", name, len(pts))
+		}
+		if len(pts[0]) != spec.Dims {
+			t.Fatalf("%s: dim %d, want %d", name, len(pts[0]), spec.Dims)
+		}
+		// Normalized: every dimension max 1 and strictly positive.
+		for j := 0; j < spec.Dims; j++ {
+			maxv := 0.0
+			for _, p := range pts {
+				if !(p[j] > 0) {
+					t.Fatalf("%s: non-positive coordinate", name)
+				}
+				maxv = math.Max(maxv, p[j])
+			}
+			if math.Abs(maxv-1) > 1e-12 {
+				t.Fatalf("%s: dim %d max %v, want 1", name, j, maxv)
+			}
+		}
+	}
+	if _, err := RealScaled("bogus", 10); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Summarize([]geom.Vector{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged accepted")
+	}
+}

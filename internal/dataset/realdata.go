@@ -1,0 +1,355 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// RealName identifies one of the four real datasets of the paper's
+// Table III, reproduced here as synthetic stand-ins (see the package
+// documentation for why).
+type RealName string
+
+// The four datasets of Table III.
+const (
+	Household RealName = "household" // 6 dims, 903,077 tuples
+	NBA       RealName = "nba"       // 5 dims,  21,962 tuples
+	Color     RealName = "color"     // 9 dims,  68,040 tuples
+	Stocks    RealName = "stocks"    // 5 dims, 122,574 tuples
+)
+
+// RealNames lists the stand-ins in the paper's Table III order.
+var RealNames = []RealName{Household, NBA, Color, Stocks}
+
+// RealSpec describes a stand-in's shape and the paper's measured
+// candidate-set sizes (for reporting alongside ours in Table III).
+type RealSpec struct {
+	Name       RealName
+	Dims       int
+	Size       int
+	PaperSky   int // |D_sky| reported by the paper
+	PaperHappy int // |D_happy| reported by the paper
+	PaperConv  int // |D_conv| reported by the paper
+}
+
+// Specs returns the Table III metadata for every stand-in.
+func Specs() []RealSpec {
+	return []RealSpec{
+		{Household, 6, 903077, 9832, 1332, 927},
+		{NBA, 5, 21962, 447, 75, 65},
+		{Color, 9, 68040, 1023, 151, 124},
+		{Stocks, 5, 122574, 3042, 449, 396},
+	}
+}
+
+// Spec returns the metadata for one stand-in.
+func Spec(name RealName) (RealSpec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return RealSpec{}, fmt.Errorf("%w: unknown real dataset %q", ErrBadParams, name)
+}
+
+// Real generates the named stand-in at its full Table III size.
+// Generation is deterministic for a given name.
+func Real(name RealName) ([]geom.Vector, error) { return RealScaled(name, 0) }
+
+// RealScaled generates the named stand-in with n tuples (n ≤ 0 means
+// the full Table III size). Scaling down keeps the distribution and
+// is used by fast tests; Table III itself runs at full size.
+func RealScaled(name RealName, n int) ([]geom.Vector, error) {
+	spec, err := Spec(name)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = spec.Size
+	}
+	var pts []geom.Vector
+	switch name {
+	case Household:
+		pts = genStarPlateReal(n, spec.Dims, 0x4005e401d, realTuning{
+			stars: 1335, demote: 408, jitter: 0.08, plate: 14700, alpha: 0.12, bulk: 0.33,
+		})
+	case NBA:
+		pts = genStarPlateReal(n, spec.Dims, 0x0b5ba11, realTuning{
+			stars: 77, demote: 16, jitter: 0.10, plate: 520, alpha: 0.12, bulk: 0.36,
+		})
+	case Color:
+		pts = genStarPlateReal(n, spec.Dims, 0xc0105, realTuning{
+			stars: 153, demote: 28, jitter: 0.05, plate: 1330, alpha: 0.12, bulk: 0.27, groups: 3,
+		})
+	case Stocks:
+		pts = genStarPlateReal(n, spec.Dims, 0x570c5, realTuning{
+			stars: 455, demote: 59, jitter: 0.05, plate: 4800, alpha: 0.12, bulk: 0.36,
+		})
+	}
+	return Normalize(pts)
+}
+
+// realTuning shapes a stand-in's distribution through three direct
+// knobs:
+//
+//   - stars is the number of "exceptional" tuples placed on a lightly
+//     jittered L2 sphere octant: sphere points never dominate each
+//     other and, jitter aside, are in convex position, so stars
+//     calibrate |D_conv| and |D_happy|.
+//   - jitter is the inward radial jitter of the stars; larger values
+//     demote more stars from hull-extreme to merely happy (or below).
+//   - plate is the number of frontier-hugging tuples sampled inside
+//     the tent Conv({p} ∪ VC) of a random star p, as q = λ·p + μ·e_a
+//     with λ + μ < 1: subjugated by construction (never happy), with
+//     a single-axis boost that keeps p itself from dominating them,
+//     so they mostly stay skyline points. plate therefore calibrates
+//     |D_sky| − |D_happy|; alpha sets how deep below the frontier
+//     they reach (λ ∈ [1 − 2α, 1 − α/4]).
+//
+// The remaining mass is a correlated bulk well inside the frontier
+// that contributes (almost) nothing to any candidate set, exactly as
+// the 99%+ of tuples in the paper's real datasets do.
+type realTuning struct {
+	stars  int
+	jitter float64
+	plate  int
+	alpha  float64
+	bulk   float64 // bulk coordinate ceiling; keep below the balanced
+	//                star level ≈ 0.8/√d so the bulk stays subjugated
+	groups int // >1 enables the product-structured frontier
+	demote int // stars demoted from hull-extreme to merely happy
+}
+
+// splitDims partitions d dimensions into g nearly equal blocks.
+func splitDims(d, g int) []int {
+	sizes := make([]int, g)
+	for i := range sizes {
+		sizes[i] = d / g
+	}
+	for i := 0; i < d%g; i++ {
+		sizes[i]++
+	}
+	return sizes
+}
+
+// StarPlateConfig is the exported form of realTuning for callers who
+// want to build custom stand-ins with the same star/plate/bulk
+// mixture (see realTuning for the meaning of each knob).
+type StarPlateConfig struct {
+	Stars  int
+	Jitter float64
+	Plate  int
+	Alpha  float64
+	Bulk   float64
+}
+
+// StarPlate generates n points of the star/plate/bulk mixture with
+// explicit tuning, normalized to (0,1] with per-dimension maximum 1.
+func StarPlate(n, d int, seed int64, cfg StarPlateConfig) ([]geom.Vector, error) {
+	if err := checkND(n, d); err != nil {
+		return nil, err
+	}
+	if cfg.Stars < 1 || cfg.Bulk <= 0.02 || cfg.Bulk > 1 || cfg.Alpha <= 0 {
+		return nil, fmt.Errorf("%w: bad star/plate config %+v", ErrBadParams, cfg)
+	}
+	pts := genStarPlateReal(n, d, seed, realTuning{
+		stars: cfg.Stars, jitter: cfg.Jitter, plate: cfg.Plate,
+		alpha: cfg.Alpha, bulk: cfg.Bulk,
+	})
+	return Normalize(pts)
+}
+
+// genStarPlateReal builds the star/plate/bulk mixture described on
+// realTuning. Stars are normalized to per-dimension maximum 1 first;
+// plates and bulk are generated directly in that normalized space
+// (all their coordinates stay below 1), so the final Normalize call
+// is a near-no-op and the simplex guarantee for plates survives it.
+func genStarPlateReal(n, d int, seed int64, t realTuning) []geom.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	starN := min(t.stars, n/4)
+	plateN := min(t.plate, n/2)
+
+	demoteN := min(t.demote, starN-1)
+	extremeN := starN - demoteN
+	stars := make([]geom.Vector, 0, starN)
+	if t.groups > 1 && d >= t.groups {
+		// Product-structured frontier: split the dimensions into
+		// `groups` blocks, draw a small convex-position profile set
+		// per block and take all combinations at radius exactly 1.
+		// Vertex counts multiply while facet counts only add, so
+		// high-dimensional hulls stay tractable — and real high-d
+		// attributes do come in loosely independent groups (e.g.
+		// color moments per channel). Demoted stars are midpoints of
+		// two grid stars differing in one block, pulled slightly
+		// inward: on (just under) a hull face, hence never extreme,
+		// but outside every single tent, hence still happy.
+		sizes := splitDims(d, t.groups)
+		per := int(math.Round(math.Pow(float64(extremeN), 1/float64(t.groups))))
+		if per < 2 {
+			per = 2
+		}
+		profiles := make([][]geom.Vector, t.groups)
+		for g, gd := range sizes {
+			profiles[g] = make([]geom.Vector, per)
+			for i := range profiles[g] {
+				v := make(geom.Vector, gd)
+				var norm float64
+				for j := range v {
+					v[j] = 0.08 + math.Abs(rng.NormFloat64())
+					norm += v[j] * v[j]
+				}
+				norm = math.Sqrt(norm)
+				for j := range v {
+					v[j] /= norm
+				}
+				profiles[g][i] = v
+			}
+		}
+		combo := make([]int, t.groups)
+		total := 1
+		for range combo {
+			total *= per
+		}
+		for c := 0; c < total && len(stars) < extremeN; c++ {
+			p := make(geom.Vector, 0, d)
+			for g := range combo {
+				p = append(p, profiles[g][combo[g]]...)
+			}
+			stars = append(stars, p)
+			for g := 0; g < t.groups; g++ {
+				combo[g]++
+				if combo[g] < per {
+					break
+				}
+				combo[g] = 0
+			}
+		}
+		gridN := len(stars)
+		for i := 0; i < demoteN && gridN > 1; i++ {
+			a := rng.Intn(gridN)
+			b := a
+			for b == a {
+				b = rng.Intn(gridN)
+			}
+			mid := stars[a].Add(stars[b]).Scale(0.5 * (1 - 0.002 - 0.01*rng.Float64()))
+			stars = append(stars, mid)
+		}
+	} else {
+		// Sphere-octant frontier: extreme stars at radius exactly 1
+		// (mutually non-dominating, in convex position), demoted
+		// stars jittered inward so they leave the hull but, in a
+		// sparse high-dimensional frontier, stay un-subjugated.
+		for i := 0; i < starN; i++ {
+			p := make(geom.Vector, d)
+			var norm float64
+			for j := range p {
+				p[j] = 0.08 + math.Abs(rng.NormFloat64())
+				norm += p[j] * p[j]
+			}
+			norm = math.Sqrt(norm)
+			r := 1.0
+			if i >= extremeN {
+				r = 1 - t.jitter*(0.3+0.7*rng.Float64())
+			}
+			for j := range p {
+				p[j] *= r / norm
+			}
+			stars = append(stars, p)
+		}
+	}
+	norm, err := Normalize(stars)
+	if err == nil {
+		stars = norm
+	}
+
+	pts := make([]geom.Vector, 0, n)
+	pts = append(pts, stars...)
+	for i := 0; i < plateN && len(pts) < n; i++ {
+		// A frontier-hugging point inside the tent of a random star
+		// p: q = λ·p + μ·e_a with λ + μ < 1 (subjugated by p, hence
+		// never happy) and q_a > p_a (so p itself does not dominate
+		// it); λ near 1 keeps q high enough that other stars rarely
+		// dominate it, so it stays a skyline point. The alpha knob
+		// sets how deep the plate reaches (λ ∈ [1−2·alpha, 1−alpha/4]).
+		p := stars[rng.Intn(len(stars))]
+		lam := 1 - t.alpha/4 - 1.75*t.alpha*rng.Float64()
+		a := rng.Intn(d)
+		u := 0.05 + 0.95*rng.Float64()
+		mu := 0.995 * (1 - lam) * (p[a] + u*(1-p[a]))
+		q := make(geom.Vector, d)
+		for j := range q {
+			q[j] = math.Max(minCoord, lam*p[j])
+		}
+		q[a] += mu
+		pts = append(pts, q)
+	}
+	for len(pts) < n {
+		quality := rng.Float64()
+		p := make(geom.Vector, d)
+		for j := range p {
+			p[j] = 0.02 + (t.bulk-0.02)*(0.5*quality+0.5*rng.Float64())
+		}
+		pts = append(pts, p)
+	}
+	rng.Shuffle(len(pts), func(a, b int) { pts[a], pts[b] = pts[b], pts[a] })
+	return pts
+}
+
+// Summary holds quick descriptive statistics of a dataset, used by
+// the CLI tools.
+type Summary struct {
+	N, D       int
+	Min, Max   geom.Vector
+	MedianSum  float64
+	MeanSum    float64
+	CorrFactor float64 // mean pairwise coordinate correlation proxy
+}
+
+// Summarize computes a Summary.
+func Summarize(pts []geom.Vector) (Summary, error) {
+	if len(pts) == 0 {
+		return Summary{}, fmt.Errorf("%w: no points", ErrBadParams)
+	}
+	d := len(pts[0])
+	s := Summary{N: len(pts), D: d}
+	s.Min = pts[0].Clone()
+	s.Max = pts[0].Clone()
+	sums := make([]float64, len(pts))
+	for i, p := range pts {
+		if len(p) != d {
+			return Summary{}, fmt.Errorf("%w: point %d has dimension %d, want %d", ErrBadParams, i, len(p), d)
+		}
+		for j, x := range p {
+			s.Min[j] = math.Min(s.Min[j], x)
+			s.Max[j] = math.Max(s.Max[j], x)
+		}
+		sums[i] = p.Sum()
+		s.MeanSum += sums[i]
+	}
+	s.MeanSum /= float64(len(pts))
+	sort.Float64s(sums)
+	s.MedianSum = sums[len(sums)/2]
+	// Correlation proxy: variance of coordinate sums relative to the
+	// independent case (ratio > 1 means positively correlated
+	// dimensions, < 1 anti-correlated).
+	var varSum, varCoord float64
+	meanCoord := s.MeanSum / float64(d)
+	for _, p := range pts {
+		dv := p.Sum() - s.MeanSum
+		varSum += dv * dv
+		for _, x := range p {
+			dc := x - meanCoord
+			varCoord += dc * dc
+		}
+	}
+	varSum /= float64(len(pts))
+	varCoord /= float64(len(pts) * d)
+	if varCoord > 0 {
+		s.CorrFactor = varSum / (varCoord * float64(d))
+	}
+	return s, nil
+}

@@ -1,0 +1,454 @@
+// Package dd maintains the vertex set of a convex polytope
+//
+//	Q = { ω ∈ R^d : A·ω ≤ b }
+//
+// under incremental insertion of halfspaces, using the double
+// description method (Motzkin et al.) with an exact, degeneracy-robust
+// adjacency test.
+//
+// Why this is the heart of the reproduction: the paper's GeoGreedy
+// algorithm maintains the convex hull Conv(S) of the orthotope closure
+// of the selection set S and answers ray-shooting queries against its
+// faces. Because Conv(S) is downward closed inside the positive
+// orthant, its polar dual restricted to ω ≥ 0 is exactly
+//
+//	Q(S) = { ω ≥ 0 : ω·p ≤ 1  for every p ∈ S },
+//
+// and the faces of Conv(S) not passing through the origin correspond
+// one-to-one with the vertices of Q(S). The paper's critical ratio
+// (Definition 3) becomes
+//
+//	cr(q, S) = 1 / max_{v ∈ vertices(Q(S))} v·q ,
+//
+// and inserting a point p into S is inserting the halfspace ω·p ≤ 1
+// here: the vertices this deletes are the primal faces the paper
+// removes, and the vertices this creates are the primal's "new faces
+// containing p_o" (Section IV-A). Package core builds GeoGreedy's
+// incremental index directly on the Added/Removed sets reported by
+// AddHalfspace.
+package dd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/linalg"
+)
+
+// Errors reported by the polytope constructors and AddHalfspace.
+var (
+	ErrBadDimension = errors.New("dd: dimension must be between 1 and 16")
+	ErrEmpty        = errors.New("dd: polytope became empty")
+	ErrBadHalfspace = errors.New("dd: malformed halfspace")
+)
+
+// Vertex is a vertex of the polytope. Tight lists the indices of the
+// constraints satisfied with equality at the vertex, sorted
+// ascending; it always contains at least dim entries whose normals
+// span R^dim.
+type Vertex struct {
+	// ID is unique within the polytope and never reused, so callers
+	// can cache references across insertions.
+	ID int
+	// Point is the vertex location.
+	Point geom.Vector
+	// Tight holds sorted indices into Polytope constraints.
+	Tight []int32
+}
+
+// tightOn reports whether constraint c is tight at the vertex.
+func (v *Vertex) tightOn(c int32) bool {
+	i := sort.Search(len(v.Tight), func(i int) bool { return v.Tight[i] >= c })
+	return i < len(v.Tight) && v.Tight[i] == c
+}
+
+// Polytope is a bounded polyhedron maintained as both a constraint
+// list (the H-representation) and a vertex list (the
+// V-representation), kept consistent by AddHalfspace.
+type Polytope struct {
+	dim    int
+	cons   []geom.Hyperplane // a·x ≤ b
+	verts  []*Vertex         // alive vertices, compacted after each insertion
+	nextID int
+}
+
+// AddResult describes the effect of one halfspace insertion.
+type AddResult struct {
+	// Redundant is true when the halfspace removed no vertex (the
+	// polytope is unchanged except for tightness bookkeeping).
+	Redundant bool
+	// RemovedIDs holds the IDs of vertices cut off by the halfspace.
+	RemovedIDs []int
+	// Added holds the vertices created on the new hyperplane.
+	Added []*Vertex
+	// OnPlane holds pre-existing vertices that happen to lie on the
+	// new hyperplane (kept, now tight on it). Together with Added
+	// they are all vertices of the polytope's new face: a maximizer
+	// of a linear function whose old argmax was removed lies in
+	// Added ∪ OnPlane — incremental callers must rescan both.
+	OnPlane []*Vertex
+}
+
+// onEps classifies a vertex as lying on a hyperplane when
+// |a·v − b| ≤ onEps·(1+|b|).
+const onEps = 1e-9
+
+// NewBox returns the axis-aligned box {0 ≤ x_i ≤ upper[i]} as a
+// Polytope. Constraint indices are fixed: 0..d−1 are the lower bounds
+// −x_i ≤ 0 and d..2d−1 the upper bounds x_i ≤ upper[i]. The box has
+// 2^d vertices, so the dimension is capped at 16.
+func NewBox(upper []float64) (*Polytope, error) {
+	d := len(upper)
+	if d < 1 || d > 16 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadDimension, d)
+	}
+	for i, u := range upper {
+		if !(u > 0) || math.IsInf(u, 0) {
+			return nil, fmt.Errorf("%w: upper bound %d is %g, need finite positive", ErrBadHalfspace, i, u)
+		}
+	}
+	p := &Polytope{dim: d}
+	for i := 0; i < d; i++ {
+		n := make(geom.Vector, d)
+		n[i] = -1
+		p.cons = append(p.cons, geom.Hyperplane{Normal: n, Offset: 0})
+	}
+	for i := 0; i < d; i++ {
+		n := make(geom.Vector, d)
+		n[i] = 1
+		p.cons = append(p.cons, geom.Hyperplane{Normal: n, Offset: upper[i]})
+	}
+	for mask := 0; mask < 1<<d; mask++ {
+		pt := make(geom.Vector, d)
+		tight := make([]int32, 0, d)
+		for i := 0; i < d; i++ {
+			if mask&(1<<i) != 0 {
+				pt[i] = upper[i]
+			}
+		}
+		// Tight sets must be sorted ascending: lower bounds first.
+		for i := 0; i < d; i++ {
+			if mask&(1<<i) == 0 {
+				tight = append(tight, int32(i))
+			}
+		}
+		for i := 0; i < d; i++ {
+			if mask&(1<<i) != 0 {
+				tight = append(tight, int32(d+i))
+			}
+		}
+		p.verts = append(p.verts, &Vertex{ID: p.nextID, Point: pt, Tight: tight})
+		p.nextID++
+	}
+	return p, nil
+}
+
+// Dim returns the ambient dimension.
+func (p *Polytope) Dim() int { return p.dim }
+
+// NumVertices returns the number of live vertices.
+func (p *Polytope) NumVertices() int { return len(p.verts) }
+
+// NumConstraints returns the number of inserted halfspaces, including
+// the initial box constraints.
+func (p *Polytope) NumConstraints() int { return len(p.cons) }
+
+// Vertices returns the live vertex slice. Callers must not modify it;
+// the slice is invalidated by the next AddHalfspace.
+func (p *Polytope) Vertices() []*Vertex { return p.verts }
+
+// Constraint returns the i-th halfspace as a hyperplane a·x = b with
+// the interior on the a·x < b side.
+func (p *Polytope) Constraint(i int) geom.Hyperplane { return p.cons[i] }
+
+// MaxDot returns the maximum of q·v over all vertices and the argmax
+// vertex. For a bounded polytope this is the support function of Q in
+// direction q. Returns (−Inf, nil) when the polytope has no vertices.
+func (p *Polytope) MaxDot(q geom.Vector) (float64, *Vertex) {
+	best := math.Inf(-1)
+	var arg *Vertex
+	for _, v := range p.verts {
+		if d := v.Point.Dot(q); d > best {
+			best, arg = d, v
+		}
+	}
+	return best, arg
+}
+
+// Contains reports whether x satisfies every constraint within eps.
+func (p *Polytope) Contains(x geom.Vector, eps float64) bool {
+	for _, c := range p.cons {
+		if c.Eval(x) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// AddHalfspace intersects the polytope with {x : normal·x ≤ offset}
+// and reports the removed and created vertices. It returns ErrEmpty
+// (leaving the polytope in an undefined state) if the intersection
+// has no vertices.
+func (p *Polytope) AddHalfspace(normal geom.Vector, offset float64) (AddResult, error) {
+	if len(normal) != p.dim {
+		return AddResult{}, fmt.Errorf("%w: normal has dimension %d, want %d", ErrBadHalfspace, len(normal), p.dim)
+	}
+	if !normal.IsFinite() || math.IsNaN(offset) || math.IsInf(offset, 0) {
+		return AddResult{}, fmt.Errorf("%w: non-finite coefficients", ErrBadHalfspace)
+	}
+	cIdx := int32(len(p.cons))
+	p.cons = append(p.cons, geom.Hyperplane{Normal: normal.Clone(), Offset: offset})
+
+	tol := onEps * (1 + math.Abs(offset))
+	type class int8
+	const (
+		below class = iota // strictly inside
+		on
+		above // to be removed
+	)
+	vals := make([]float64, len(p.verts))
+	classes := make([]class, len(p.verts))
+	var nAbove, nOn int
+	for i, v := range p.verts {
+		val := normal.Dot(v.Point) - offset
+		vals[i] = val
+		switch {
+		case val > tol:
+			classes[i] = above
+			nAbove++
+		case val >= -tol:
+			classes[i] = on
+			nOn++
+		default:
+			classes[i] = below
+		}
+	}
+
+	if nAbove == 0 {
+		// Redundant halfspace: record tightness on coincident
+		// vertices and keep everything.
+		for i, v := range p.verts {
+			if classes[i] == on {
+				v.Tight = insertSorted(v.Tight, cIdx)
+			}
+		}
+		return AddResult{Redundant: true}, nil
+	}
+	if nAbove == len(p.verts) {
+		return AddResult{}, ErrEmpty
+	}
+
+	// Partition.
+	var kept []*Vertex
+	var keptVals []float64
+	var removedIdx []int
+	var onPlane []*Vertex
+	removedIDs := make([]int, 0, nAbove)
+	for i, v := range p.verts {
+		switch classes[i] {
+		case above:
+			removedIdx = append(removedIdx, i)
+			removedIDs = append(removedIDs, v.ID)
+		case on:
+			v.Tight = insertSorted(v.Tight, cIdx)
+			kept = append(kept, v)
+			keptVals = append(keptVals, vals[i])
+			onPlane = append(onPlane, v)
+		default:
+			kept = append(kept, v)
+			keptVals = append(keptVals, vals[i])
+		}
+	}
+
+	// Generate new vertices on edges between strictly-inside kept
+	// vertices and removed vertices. Edges from "on" vertices do not
+	// create new vertices (the crossing point is the on-vertex
+	// itself).
+	//
+	// Candidate pruning: an edge's endpoints share at least dim−1
+	// tight constraints, so for each removed vertex we only test kept
+	// vertices reachable through the per-constraint incidence index.
+	incidence := p.buildIncidence(kept)
+	var added []*Vertex
+	counts := make(map[int]int, 64) // kept index → #shared tight constraints
+	for _, ri := range removedIdx {
+		w := p.verts[ri]
+		wVal := vals[ri]
+		clear(counts)
+		for _, c := range w.Tight {
+			for _, ki := range incidence[c] {
+				counts[ki]++
+			}
+		}
+		for ki, cnt := range counts {
+			if cnt < p.dim-1 {
+				continue
+			}
+			u := kept[ki]
+			if keptVals[ki] >= -tol {
+				continue // "on" vertex; no new vertex from this edge
+			}
+			common := intersectSorted(u.Tight, w.Tight)
+			if !p.isEdge(common) {
+				continue
+			}
+			uVal := keptVals[ki]
+			// Crossing point: x = u + t(w−u), t = −uVal/(wVal−uVal).
+			t := -uVal / (wVal - uVal)
+			pt := make(geom.Vector, p.dim)
+			for j := range pt {
+				pt[j] = u.Point[j] + t*(w.Point[j]-u.Point[j])
+			}
+			tight := insertSorted(append([]int32(nil), common...), cIdx)
+			nv := &Vertex{ID: -1, Point: pt, Tight: tight}
+			p.refine(nv)
+			added = appendUnique(added, nv)
+		}
+	}
+	for _, nv := range added {
+		nv.ID = p.nextID
+		p.nextID++
+	}
+	p.verts = append(kept, added...)
+	if len(p.verts) == 0 {
+		return AddResult{}, ErrEmpty
+	}
+	return AddResult{RemovedIDs: removedIDs, Added: added, OnPlane: onPlane}, nil
+}
+
+// buildIncidence maps every constraint index to the kept-vertex
+// indices tight on it.
+func (p *Polytope) buildIncidence(kept []*Vertex) map[int32][]int {
+	m := make(map[int32][]int, 2*p.dim)
+	for ki, v := range kept {
+		for _, c := range v.Tight {
+			m[c] = append(m[c], ki)
+		}
+	}
+	return m
+}
+
+// isEdge reports whether the constraints in common define a
+// one-dimensional face, i.e. their normals have rank dim−1. This is
+// the exact adjacency test of the double description method and is
+// correct under arbitrary degeneracy.
+func (p *Polytope) isEdge(common []int32) bool {
+	if len(common) < p.dim-1 {
+		return false
+	}
+	m := linalg.NewMatrix(len(common), p.dim)
+	for r, c := range common {
+		copy(m.Row(r), p.cons[c].Normal)
+	}
+	return linalg.Rank(m, 1e-9) == p.dim-1
+}
+
+// refine snaps a vertex onto the exact intersection of dim linearly
+// independent tight constraints, eliminating interpolation drift
+// across long insertion sequences. On numerical failure the
+// interpolated coordinates are kept.
+func (p *Polytope) refine(v *Vertex) {
+	rows := make([][]float64, 0, p.dim)
+	rhs := make([]float64, 0, p.dim)
+	m := linalg.NewMatrix(p.dim, p.dim)
+	for _, c := range v.Tight {
+		cand := append(rows, p.cons[c].Normal)
+		mt := linalg.NewMatrix(len(cand), p.dim)
+		for r, row := range cand {
+			copy(mt.Row(r), row)
+		}
+		if linalg.Rank(mt, 1e-9) == len(cand) {
+			rows = cand
+			rhs = append(rhs, p.cons[c].Offset)
+			if len(rows) == p.dim {
+				break
+			}
+		}
+	}
+	if len(rows) < p.dim {
+		return
+	}
+	for r, row := range rows {
+		copy(m.Row(r), row)
+	}
+	x, err := linalg.Solve(m, rhs)
+	if err != nil {
+		return
+	}
+	pt := geom.Vector(x)
+	if !pt.IsFinite() || !pt.Equal(v.Point, 1e-5) {
+		return // reject wild solutions; keep the interpolated point
+	}
+	v.Point = pt
+}
+
+// appendUnique adds nv to added unless a geometrically identical
+// vertex is already present; duplicate crossings happen when more
+// than dim constraints meet the cutting plane at one point. When a
+// duplicate is found their tight sets are merged.
+func appendUnique(added []*Vertex, nv *Vertex) []*Vertex {
+	for _, v := range added {
+		if v.Point.Equal(nv.Point, 1e-8) {
+			v.Tight = unionSorted(v.Tight, nv.Tight)
+			return added
+		}
+	}
+	return append(added, nv)
+}
+
+// insertSorted inserts c into the sorted slice s if absent.
+func insertSorted(s []int32, c int32) []int32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= c })
+	if i < len(s) && s[i] == c {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = c
+	return s
+}
+
+// intersectSorted returns the intersection of two sorted slices.
+func intersectSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// unionSorted returns the union of two sorted slices.
+func unionSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

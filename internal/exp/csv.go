@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV emitters for every experiment row type, so results can be fed
+// straight into plotting tools. cmd/experiments writes these next to
+// its human-readable tables when -csv is given.
+
+func writeAll(w *csv.Writer, rows [][]string) error {
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func secs(d time.Duration) string { return f(d.Seconds()) }
+
+// WriteTable3CSV writes Table III rows.
+func WriteTable3CSV(out io.Writer, rows []Table3Row) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"dataset", "dims", "size", "sky", "happy", "conv", "paper_sky", "paper_happy", "paper_conv"}}
+	for _, r := range rows {
+		recs = append(recs, []string{
+			string(r.Name), strconv.Itoa(r.Dims), strconv.Itoa(r.N),
+			strconv.Itoa(r.Sky), strconv.Itoa(r.Happy), strconv.Itoa(r.Conv),
+			strconv.Itoa(r.PaperSky), strconv.Itoa(r.PaperHappy), strconv.Itoa(r.PaperConv),
+		})
+	}
+	return writeAll(w, recs)
+}
+
+// WriteMRRCSV writes Figure 7/8 rows.
+func WriteMRRCSV(out io.Writer, rows []MRRRow) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{"dataset", "k", "mrr"}}
+	for _, r := range rows {
+		recs = append(recs, []string{string(r.Dataset), strconv.Itoa(r.K), f(r.MRR)})
+	}
+	return writeAll(w, recs)
+}
+
+// WriteTimeCSV writes Figure 9/10/11 rows (durations in seconds).
+func WriteTimeCSV(out io.Writer, rows []TimeRow) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{
+		"dataset", "k", "greedy_s", "geogreedy_s", "stored_query_s",
+		"pre_sky_s", "pre_happy_s", "stored_build_s",
+	}}
+	for _, r := range rows {
+		recs = append(recs, []string{
+			string(r.Dataset), strconv.Itoa(r.K),
+			secs(r.Greedy), secs(r.GeoGreedy), secs(r.StoredQuery),
+			secs(r.PreSky), secs(r.PreHappy), secs(r.StoredBuild),
+		})
+	}
+	return writeAll(w, recs)
+}
+
+// WriteSynthCSV writes Figure 12/13 sweep rows.
+func WriteSynthCSV(out io.Writer, param string, rows []SynthRow) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{{param, "n", "d", "k", "happy", "mrr", "greedy_s", "geogreedy_s"}}
+	for _, r := range rows {
+		recs = append(recs, []string{
+			strconv.Itoa(r.Param), strconv.Itoa(r.N), strconv.Itoa(r.D), strconv.Itoa(r.K),
+			strconv.Itoa(r.Happy), f(r.MRR), secs(r.Greedy), secs(r.GeoGreedy),
+		})
+	}
+	return writeAll(w, recs)
+}
+
+// WriteHeadlineCSV writes the §V-C headline measurement.
+func WriteHeadlineCSV(out io.Writer, res *HeadlineResult) error {
+	w := csv.NewWriter(out)
+	recs := [][]string{
+		{"n", "d", "k", "sky", "happy", "pre_s", "greedy_s", "geogreedy_s", "stored_build_s", "stored_query_s", "mrr"},
+		{
+			strconv.Itoa(res.N), strconv.Itoa(res.D), strconv.Itoa(res.K),
+			strconv.Itoa(res.SkyCount), strconv.Itoa(res.HappyCount),
+			secs(res.PreTime), secs(res.Greedy), secs(res.GeoGreedy),
+			secs(res.StoredBuild), secs(res.StoredQuery), f(res.MRR),
+		},
+	}
+	return writeAll(w, recs)
+}

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func TestCSVWriters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable3CSV(&buf, []Table3Row{{
+		Name: dataset.NBA, Dims: 5, N: 100, Sky: 10, Happy: 5, Conv: 4,
+		PaperSky: 447, PaperHappy: 75, PaperConv: 65,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nba,5,100,10,5,4,447,75,65") {
+		t.Fatalf("table3 csv: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteMRRCSV(&buf, []MRRRow{{Dataset: dataset.Color, K: 10, MRR: 0.25}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "color,10,0.25") {
+		t.Fatalf("mrr csv: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteTimeCSV(&buf, []TimeRow{{
+		Dataset: dataset.Stocks, K: 20,
+		Greedy: 2 * time.Second, GeoGreedy: 100 * time.Millisecond,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "stocks,20,2,0.1,") {
+		t.Fatalf("time csv: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteSynthCSV(&buf, "d", []SynthRow{{
+		Param: 6, N: 10000, D: 6, K: 10, Happy: 4000, MRR: 0.33,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "d,n,d,k,happy,mrr") {
+		t.Fatalf("synth csv header: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteHeadlineCSV(&buf, &HeadlineResult{
+		N: 200000, D: 6, K: 100, SkyCount: 30000, HappyCount: 25000, MRR: 0.028,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "200000,6,100,30000,25000") {
+		t.Fatalf("headline csv: %q", buf.String())
+	}
+}

@@ -1,0 +1,83 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHyperplaneSide(t *testing.T) {
+	h := Hyperplane{Normal: Vector{1, 1}, Offset: 1}
+	if got := h.Side(Vector{0.2, 0.2}, Eps); got != -1 {
+		t.Fatalf("below point classified %d", got)
+	}
+	if got := h.Side(Vector{0.5, 0.5}, Eps); got != 0 {
+		t.Fatalf("on point classified %d", got)
+	}
+	if got := h.Side(Vector{0.9, 0.9}, Eps); got != 1 {
+		t.Fatalf("above point classified %d", got)
+	}
+}
+
+func TestHyperplaneEval(t *testing.T) {
+	h := Hyperplane{Normal: Vector{2, 0}, Offset: 1}
+	if got := h.Eval(Vector{1, 5}); got != 1 {
+		t.Fatalf("Eval = %v, want 1", got)
+	}
+}
+
+func TestRayIntersection(t *testing.T) {
+	h := Hyperplane{Normal: Vector{1, 1}, Offset: 1}
+	tt, ok := h.RayIntersection(Vector{1, 1})
+	if !ok || !ApproxEqual(tt, 0.5, 1e-12) {
+		t.Fatalf("RayIntersection = (%v, %v), want (0.5, true)", tt, ok)
+	}
+	// Parallel ray.
+	h2 := Hyperplane{Normal: Vector{0, 1}, Offset: 1}
+	if _, ok := h2.RayIntersection(Vector{1, 0}); ok {
+		t.Fatal("parallel ray should not intersect")
+	}
+	// Negative-t hit.
+	h3 := Hyperplane{Normal: Vector{-1, 0}, Offset: 1}
+	if _, ok := h3.RayIntersection(Vector{1, 0}); ok {
+		t.Fatal("behind-origin hit should be rejected")
+	}
+}
+
+func TestHyperplaneValid(t *testing.T) {
+	if !(Hyperplane{Normal: Vector{1, 0}, Offset: 1}).Valid() {
+		t.Fatal("valid hyperplane rejected")
+	}
+	if (Hyperplane{Normal: Vector{0, 0}, Offset: 1}).Valid() {
+		t.Fatal("zero normal accepted")
+	}
+	if (Hyperplane{Normal: Vector{1, 0}, Offset: math.NaN()}).Valid() {
+		t.Fatal("NaN offset accepted")
+	}
+}
+
+func TestEpsHelpers(t *testing.T) {
+	if !ApproxEqual(1, 1+1e-12, 1e-9) {
+		t.Fatal("ApproxEqual too strict")
+	}
+	if !LessEq(1, 1, 0) || LessEq(2, 1, 0.5) {
+		t.Fatal("LessEq wrong")
+	}
+	if !Less(1, 2, 0.5) || Less(1.9, 2, 0.5) {
+		t.Fatal("Less wrong")
+	}
+	if !Zero(1e-12, 1e-9) || Zero(1e-3, 1e-9) {
+		t.Fatal("Zero wrong")
+	}
+	if Clamp01(-1) != 0 || Clamp01(2) != 1 || Clamp01(0.5) != 0.5 {
+		t.Fatal("Clamp01 wrong")
+	}
+}
+
+func TestRelEps(t *testing.T) {
+	if RelEps(0, 0, 1e-9) != 1e-9 {
+		t.Fatal("unit-range RelEps")
+	}
+	if RelEps(100, -3, 1e-9) != 1e-9*101 {
+		t.Fatalf("scaled RelEps = %v", RelEps(100, -3, 1e-9))
+	}
+}

@@ -1,0 +1,270 @@
+package interactive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func testData(rng *rand.Rand, n, d int) []geom.Vector {
+	pts := make([]geom.Vector, n)
+	for i := range pts {
+		p := make(geom.Vector, d)
+		var sum float64
+		for j := range p {
+			p[j] = 0.05 + rng.ExpFloat64()
+			sum += p[j]
+		}
+		scale := (0.8 + 0.4*rng.Float64()) / sum
+		for j := range p {
+			p[j] = math.Min(1, math.Max(0.01, p[j]*scale))
+		}
+		pts[i] = p
+	}
+	for j := 0; j < d; j++ {
+		maxv := 0.0
+		for _, p := range pts {
+			maxv = math.Max(maxv, p[j])
+		}
+		for _, p := range pts {
+			p[j] /= maxv
+		}
+	}
+	return pts
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := NewSession(nil); err != ErrNoPoints {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := NewSession([]geom.Vector{{1, 1}, {1}}); err == nil {
+		t.Fatal("ragged accepted")
+	}
+	if _, err := NewSession([]geom.Vector{{0, 1}}); err == nil {
+		t.Fatal("zero coordinate accepted")
+	}
+}
+
+func TestShowChooseProtocol(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := NewSession(testData(rng, 60, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Choose(0); err != ErrNotShowing {
+		t.Fatalf("choose before show: %v", err)
+	}
+	if _, err := s.Show(1); err != ErrBadDisplay {
+		t.Fatalf("display size 1: %v", err)
+	}
+	shown, err := s.Show(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shown) != 3 {
+		t.Fatalf("shown %d", len(shown))
+	}
+	if err := s.Choose(5); err == nil {
+		t.Fatal("out-of-range choice accepted")
+	}
+	if err := s.Choose(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds() != 1 {
+		t.Fatalf("rounds = %d", s.Rounds())
+	}
+	// A second Choose without a Show must fail.
+	if err := s.Choose(0); err != ErrNotShowing {
+		t.Fatalf("double choose: %v", err)
+	}
+}
+
+// TestFeedbackShrinksUncertainty: each round must not increase the
+// recommendation's regret bound, and typically shrinks it.
+func TestFeedbackShrinksUncertainty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := testData(rng, 100, 3)
+	s, err := NewSession(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := geom.Vector{0.5, 0.3, 0.2}
+	_, bound0, err := s.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := bound0
+	for round := 0; round < 8; round++ {
+		shown, err := s.Show(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, bestU := 0, math.Inf(-1)
+		for i, idx := range shown {
+			if u := hidden.Dot(pts[idx]); u > bestU {
+				best, bestU = i, u
+			}
+		}
+		if err := s.Choose(best); err != nil {
+			t.Fatal(err)
+		}
+		_, bound, err := s.Recommend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound > prev+1e-9 {
+			t.Fatalf("round %d: bound rose from %v to %v", round, prev, bound)
+		}
+		prev = bound
+	}
+	if prev > bound0 {
+		t.Fatalf("no overall progress: %v → %v", bound0, prev)
+	}
+}
+
+// TestSimulationConverges: for a random hidden utility the simulated
+// session reaches a small regret bound, and the recommended tuple's
+// true regret for the hidden utility is within that bound.
+func TestSimulationConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		d := 2 + rng.Intn(3)
+		pts := testData(rng, 120, d)
+		s, err := NewSession(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hidden := make(geom.Vector, d)
+		var norm float64
+		for j := range hidden {
+			hidden[j] = 0.1 + rng.Float64()
+			norm += hidden[j] * hidden[j]
+		}
+		hidden = hidden.Scale(1 / math.Sqrt(norm))
+
+		rec, bound, err := SimulateUser(s, hidden, 4, 40, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound > 0.25 {
+			t.Fatalf("trial %d (d=%d): bound %v did not converge", trial, d, bound)
+		}
+		// True regret of the recommendation for the hidden utility.
+		bestU := math.Inf(-1)
+		for _, p := range pts {
+			if u := hidden.Dot(p); u > bestU {
+				bestU = u
+			}
+		}
+		trueRegret := 1 - hidden.Dot(pts[rec])/bestU
+		if trueRegret > bound+1e-9 {
+			t.Fatalf("trial %d: true regret %v exceeds reported bound %v", trial, trueRegret, bound)
+		}
+	}
+}
+
+func TestEstimateRecoversUtilityDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := testData(rng, 150, 3)
+	s, err := NewSession(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := geom.Vector{0.7, 0.5, 0.2}
+	hidden, _ = hidden.Normalize()
+	if _, _, err := SimulateUser(s, hidden, 4, 25, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimate should correlate with the hidden direction far
+	// better than a uniform guess would.
+	cos := est.Dot(hidden)
+	if cos < 0.85 {
+		t.Fatalf("estimate %v poorly aligned with hidden %v (cos %v)", est, hidden, cos)
+	}
+}
+
+func TestCandidatesAreHappyPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := testData(rng, 80, 3)
+	s, err := NewSession(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := s.Candidates()
+	if len(cand) == 0 || len(cand) > len(pts) {
+		t.Fatalf("candidates %d", len(cand))
+	}
+	// Mutating the returned slice must not affect the session.
+	cand[0] = -99
+	if s.Candidates()[0] == -99 {
+		t.Fatal("Candidates aliases internal state")
+	}
+}
+
+// TestStrategiesConverge: every strategy makes progress; the
+// incomparability strategy needs no more rounds than random to reach
+// the same bound on this fixture.
+func TestStrategiesConverge(t *testing.T) {
+	hidden := geom.Vector{0.55, 0.35, 0.10}
+	hidden, _ = hidden.Normalize()
+	roundsFor := func(st Strategy) int {
+		rng := rand.New(rand.NewSource(7)) // same data per strategy
+		pts := testData(rng, 150, 3)
+		s, err := NewSession(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetStrategy(st)
+		if _, _, err := SimulateUser(s, hidden, 4, 30, 0.03); err != nil {
+			t.Fatal(err)
+		}
+		return s.Rounds()
+	}
+	inc := roundsFor(StrategyIncomparable)
+	rnd := roundsFor(StrategyRandom)
+	spr := roundsFor(StrategySpread)
+	t.Logf("rounds to 3%%: incomparable=%d spread=%d random=%d", inc, spr, rnd)
+	if inc > rnd {
+		t.Fatalf("incomparable strategy (%d rounds) worse than random (%d)", inc, rnd)
+	}
+	if inc > 30 {
+		t.Fatalf("incomparable did not converge within budget")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyIncomparable.String() != "incomparable" ||
+		StrategySpread.String() != "spread" ||
+		StrategyRandom.String() != "random" {
+		t.Fatal("strategy names")
+	}
+	if Strategy(9).String() == "" {
+		t.Fatal("unknown strategy")
+	}
+}
+
+func TestRandomStrategyDisplaysDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s, err := NewSession(testData(rng, 100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetStrategy(StrategyRandom)
+	shown, err := s.Show(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, i := range shown {
+		if seen[i] {
+			t.Fatalf("duplicate display entry %d", i)
+		}
+		seen[i] = true
+	}
+}

@@ -1,0 +1,207 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("Set/At broken")
+	}
+	r := m.Row(1)
+	r[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must be a view")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatal("wrong content")
+	}
+	if _, err := NewMatrixFromRows([][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("expected ragged-row error")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 2)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestSolveSimple(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("Solve = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("got %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveNonSquare(t *testing.T) {
+	if _, err := Factor(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	d, err := Det(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-(-2)) > 1e-12 {
+		t.Fatalf("Det = %v, want -2", d)
+	}
+	s, _ := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	d, err = Det(s)
+	if err != nil || d != 0 {
+		t.Fatalf("singular Det = (%v, %v), want (0, nil)", d, err)
+	}
+	if d, _ := Det(Identity(5)); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("det(I) = %v", d)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-12 {
+				t.Fatalf("A·A⁻¹[%d][%d] = %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {2, 4, 6}, {1, 1, 1}})
+	if r := Rank(a, 1e-9); r != 2 {
+		t.Fatalf("Rank = %d, want 2", r)
+	}
+	if r := Rank(Identity(4), 1e-9); r != 4 {
+		t.Fatalf("Rank(I4) = %d", r)
+	}
+	if r := Rank(NewMatrix(3, 3), 1e-9); r != 0 {
+		t.Fatalf("Rank(0) = %d", r)
+	}
+	// Rectangular.
+	b, _ := NewMatrixFromRows([][]float64{{1, 0, 0}, {0, 1, 0}})
+	if r := Rank(b, 1e-9); r != 2 {
+		t.Fatalf("Rank(rect) = %d", r)
+	}
+}
+
+// TestSolveRandomRoundTrip: A·x = b ⟹ Solve(A, b) ≈ x for random
+// well-conditioned systems.
+func TestSolveRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal boost for conditioning.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b, _ := a.MulVec(x)
+		got, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+// Determinant is multiplicative: det(AB) = det(A)·det(B).
+func TestDetMultiplicativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		a, b := NewMatrix(n, n), NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+			b.Data[i] = rng.NormFloat64()
+		}
+		ab, _ := a.Mul(b)
+		da, _ := Det(a)
+		db, _ := Det(b)
+		dab, _ := Det(ab)
+		return math.Abs(dab-da*db) <= 1e-6*(1+math.Abs(dab))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package rtree implements an in-memory R-tree over d-dimensional
+// points, bulk-loaded with the Sort-Tile-Recursive (STR) method.
+//
+// It exists as the index substrate for the branch-and-bound skyline
+// algorithm (BBS) of Papadias, Tao, Fu and Seeger — the progressive
+// skyline computation the paper cites as its skyline reference [10].
+// BBS needs exactly what an R-tree provides: a hierarchy of minimum
+// bounding rectangles that can be expanded best-first and pruned
+// wholesale by dominance tests against the rectangle corners.
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// ErrBadInput flags invalid construction input.
+var ErrBadInput = errors.New("rtree: bad input")
+
+// DefaultFanout is the node capacity used by Build.
+const DefaultFanout = 32
+
+// MBR is an axis-aligned minimum bounding rectangle.
+type MBR struct {
+	Min, Max geom.Vector
+}
+
+// Contains reports whether p lies inside the rectangle (inclusive).
+func (m MBR) Contains(p geom.Vector) bool {
+	for j := range p {
+		if p[j] < m.Min[j] || p[j] > m.Max[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsMBR reports whether other is inside m (inclusive).
+func (m MBR) ContainsMBR(other MBR) bool {
+	for j := range m.Min {
+		if other.Min[j] < m.Min[j] || other.Max[j] > m.Max[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Node is one R-tree node: either a leaf holding point indices or an
+// internal node holding children.
+type Node struct {
+	Box      MBR
+	Children []*Node
+	Points   []int // leaf entries: indices into the tree's point slice
+}
+
+// IsLeaf reports whether the node holds points directly.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Tree is an immutable bulk-loaded R-tree.
+type Tree struct {
+	Root   *Node
+	pts    []geom.Vector
+	fanout int
+	height int
+	nodes  int
+}
+
+// Build bulk-loads an R-tree over pts with the STR method and the
+// given fanout (≤ 0 uses DefaultFanout). The point slice is captured,
+// not copied — callers must not mutate it afterwards.
+func Build(pts []geom.Vector, fanout int) (*Tree, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("%w: no points", ErrBadInput)
+	}
+	d := len(pts[0])
+	if d == 0 {
+		return nil, fmt.Errorf("%w: zero-dimensional points", ErrBadInput)
+	}
+	for i, p := range pts {
+		if len(p) != d {
+			return nil, fmt.Errorf("%w: point %d has dimension %d, want %d", ErrBadInput, i, len(p), d)
+		}
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("%w: point %d has non-finite coordinates", ErrBadInput, i)
+		}
+	}
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("%w: fanout %d too small", ErrBadInput, fanout)
+	}
+	t := &Tree{pts: pts, fanout: fanout}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	leaves := t.strPack(idx, 0)
+	level := leaves
+	t.height = 1
+	for len(level) > 1 {
+		level = t.packNodes(level)
+		t.height++
+	}
+	t.Root = level[0]
+	return t, nil
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Dim returns the dimensionality.
+func (t *Tree) Dim() int { return len(t.pts[0]) }
+
+// Height returns the number of levels (1 = a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return t.nodes }
+
+// Point returns the coordinates of indexed point i.
+func (t *Tree) Point(i int) geom.Vector { return t.pts[i] }
+
+// strPack recursively tiles the index set by dimension `dim` into
+// leaf nodes of at most fanout points.
+func (t *Tree) strPack(idx []int, dim int) []*Node {
+	d := t.Dim()
+	if len(idx) <= t.fanout {
+		return []*Node{t.newLeaf(idx)}
+	}
+	// STR: with `leaves` leaf nodes to produce and d−dim untiled
+	// dimensions left, slice ceil(leaves^(1/(d−dim))) slabs along the
+	// current dimension and recurse into each slab on the next one.
+	leaves := (len(idx) + t.fanout - 1) / t.fanout
+	slabs := intPow(leaves, d-dim)
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := t.pts[idx[a]][dim], t.pts[idx[b]][dim]
+		if pa != pb {
+			return pa < pb
+		}
+		return idx[a] < idx[b]
+	})
+	per := (len(idx) + slabs - 1) / slabs
+	var out []*Node
+	nextDim := (dim + 1) % d
+	for start := 0; start < len(idx); start += per {
+		end := min(start+per, len(idx))
+		if d == 1 || len(idx[start:end]) <= t.fanout {
+			out = append(out, t.newLeaf(idx[start:end]))
+		} else {
+			out = append(out, t.strPack(idx[start:end], nextDim)...)
+		}
+	}
+	return out
+}
+
+// intPow returns ceil(n^(1/k)) for k ≥ 1 (slab count heuristic).
+func intPow(n, k int) int {
+	if k <= 1 {
+		return n
+	}
+	s := 1
+	for pow(s, k) < n {
+		s++
+	}
+	return s
+}
+
+func pow(base, exp int) int {
+	r := 1
+	for i := 0; i < exp; i++ {
+		r *= base
+		if r < 0 { // overflow guard
+			return 1 << 62
+		}
+	}
+	return r
+}
+
+// newLeaf builds a leaf node over the given point indices.
+func (t *Tree) newLeaf(idx []int) *Node {
+	t.nodes++
+	n := &Node{Points: append([]int(nil), idx...)}
+	n.Box = t.mbrOfPoints(n.Points)
+	return n
+}
+
+// packNodes groups a level of nodes into parents of at most fanout
+// children, ordered by the first coordinate of their box centers.
+func (t *Tree) packNodes(level []*Node) []*Node {
+	sort.Slice(level, func(a, b int) bool {
+		return level[a].Box.Min[0]+level[a].Box.Max[0] < level[b].Box.Min[0]+level[b].Box.Max[0]
+	})
+	var out []*Node
+	for start := 0; start < len(level); start += t.fanout {
+		end := min(start+t.fanout, len(level))
+		t.nodes++
+		parent := &Node{Children: level[start:end:end]}
+		parent.Box = mbrOfNodes(parent.Children)
+		out = append(out, parent)
+	}
+	return out
+}
+
+func (t *Tree) mbrOfPoints(idx []int) MBR {
+	d := t.Dim()
+	m := MBR{Min: make(geom.Vector, d), Max: make(geom.Vector, d)}
+	copy(m.Min, t.pts[idx[0]])
+	copy(m.Max, t.pts[idx[0]])
+	for _, i := range idx[1:] {
+		for j, x := range t.pts[i] {
+			if x < m.Min[j] {
+				m.Min[j] = x
+			}
+			if x > m.Max[j] {
+				m.Max[j] = x
+			}
+		}
+	}
+	return m
+}
+
+func mbrOfNodes(ns []*Node) MBR {
+	d := len(ns[0].Box.Min)
+	m := MBR{Min: ns[0].Box.Min.Clone(), Max: ns[0].Box.Max.Clone()}
+	for _, n := range ns[1:] {
+		for j := 0; j < d; j++ {
+			if n.Box.Min[j] < m.Min[j] {
+				m.Min[j] = n.Box.Min[j]
+			}
+			if n.Box.Max[j] > m.Max[j] {
+				m.Max[j] = n.Box.Max[j]
+			}
+		}
+	}
+	return m
+}
+
+// RangeQuery returns the indices of all points inside the query box,
+// sorted ascending — the classic R-tree workload, provided for
+// completeness and used by tests as a structural check.
+func (t *Tree) RangeQuery(box MBR) ([]int, error) {
+	if len(box.Min) != t.Dim() || len(box.Max) != t.Dim() {
+		return nil, fmt.Errorf("%w: query box dimension", ErrBadInput)
+	}
+	var out []int
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if !boxesIntersect(n.Box, box) {
+			return
+		}
+		if n.IsLeaf() {
+			for _, i := range n.Points {
+				if box.Contains(t.pts[i]) {
+					out = append(out, i)
+				}
+			}
+			return
+		}
+		for _, c := range n.Children {
+			visit(c)
+		}
+	}
+	visit(t.Root)
+	sort.Ints(out)
+	return out, nil
+}
+
+func boxesIntersect(a, b MBR) bool {
+	for j := range a.Min {
+		if a.Max[j] < b.Min[j] || b.Max[j] < a.Min[j] {
+			return false
+		}
+	}
+	return true
+}

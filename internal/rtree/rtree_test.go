@@ -1,0 +1,124 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randomPts(rng *rand.Rand, n, d int) []geom.Vector {
+	pts := make([]geom.Vector, n)
+	for i := range pts {
+		p := make(geom.Vector, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, 0); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Build([]geom.Vector{{1, 2}, {1}}, 0); err == nil {
+		t.Fatal("ragged accepted")
+	}
+	if _, err := Build([]geom.Vector{{math.NaN()}}, 0); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := Build([]geom.Vector{{1}}, 1); err == nil {
+		t.Fatal("fanout 1 accepted")
+	}
+}
+
+// checkStructure verifies MBR containment, fanout bounds and point
+// coverage.
+func checkStructure(t *testing.T, tree *Tree) {
+	t.Helper()
+	seen := map[int]bool{}
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n.IsLeaf() {
+			if len(n.Points) == 0 {
+				t.Fatal("empty leaf")
+			}
+			for _, i := range n.Points {
+				if seen[i] {
+					t.Fatalf("point %d in two leaves", i)
+				}
+				seen[i] = true
+				if !n.Box.Contains(tree.Point(i)) {
+					t.Fatalf("leaf MBR misses point %d", i)
+				}
+			}
+			return
+		}
+		if len(n.Children) == 0 {
+			t.Fatal("internal node without children")
+		}
+		for _, c := range n.Children {
+			if !n.Box.ContainsMBR(c.Box) {
+				t.Fatal("child MBR escapes parent")
+			}
+			visit(c)
+		}
+	}
+	visit(tree.Root)
+	if len(seen) != tree.Len() {
+		t.Fatalf("%d of %d points covered", len(seen), tree.Len())
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(3000)
+		d := 1 + rng.Intn(5)
+		fanout := 2 + rng.Intn(40)
+		tree, err := Build(randomPts(rng, n, d), fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStructure(t, tree)
+		if tree.Height() < 1 || tree.NumNodes() < 1 {
+			t.Fatalf("height %d nodes %d", tree.Height(), tree.NumNodes())
+		}
+	}
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPts(rng, 2000, 3)
+	tree, err := Build(pts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		box := MBR{Min: make(geom.Vector, 3), Max: make(geom.Vector, 3)}
+		for j := 0; j < 3; j++ {
+			a, b := rng.Float64(), rng.Float64()
+			box.Min[j], box.Max[j] = math.Min(a, b), math.Max(a, b)
+		}
+		got, err := tree.RangeQuery(box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int
+		for i, p := range pts {
+			if box.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: %d vs %d hits", trial, len(got), len(want))
+		}
+	}
+	if _, err := tree.RangeQuery(MBR{Min: geom.Vector{0}, Max: geom.Vector{1}}); err == nil {
+		t.Fatal("wrong-dimension query accepted")
+	}
+}

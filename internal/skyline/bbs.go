@@ -1,0 +1,121 @@
+package skyline
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// BBSkyline computes the skyline with the branch-and-bound skyline
+// algorithm of Papadias, Tao, Fu and Seeger (the paper's reference
+// [10] for skyline computation), over an STR-bulk-loaded R-tree.
+//
+// Entries (nodes and points) are processed best-first by the sum of
+// their upper MBR corner coordinates. For a max-skyline this order
+// guarantees that any dominator of a point is popped before the
+// point itself, so a popped point that no current skyline member
+// dominates is final; a node whose upper corner is dominated can be
+// pruned wholesale. BBS is progressive (results stream out in
+// best-first order) and I/O-optimal in the external-memory setting;
+// here it serves as the index-based skyline operator of the family,
+// cross-validated against BNL/SFS/DC.
+func BBSkyline(pts []geom.Vector) ([]int, error) {
+	if err := validate(pts); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	tree, err := rtree.Build(pts, 0)
+	if err != nil {
+		return nil, err
+	}
+	return BBSkylineOnTree(tree)
+}
+
+// BBSkylineOnTree runs BBS over an already-built R-tree (reusable
+// across queries on the same data).
+func BBSkylineOnTree(tree *rtree.Tree) ([]int, error) {
+	pq := &entryHeap{}
+	heap.Init(pq)
+	pushNode := func(n *rtree.Node) {
+		heap.Push(pq, entry{node: n, point: -1, key: sum(n.Box.Max)})
+	}
+	pushNode(tree.Root)
+
+	var sky []int
+	dominatedBySky := func(p geom.Vector) bool {
+		for _, s := range sky {
+			if geom.Dominates(tree.Point(s), p) {
+				return true
+			}
+		}
+		return false
+	}
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(entry)
+		if e.point >= 0 {
+			p := tree.Point(e.point)
+			if !dominatedBySky(p) {
+				sky = append(sky, e.point)
+			}
+			continue
+		}
+		// Prune the whole subtree if its best corner is dominated.
+		if dominatedBySky(e.node.Box.Max) {
+			continue
+		}
+		if e.node.IsLeaf() {
+			for _, i := range e.node.Points {
+				if !dominatedBySky(tree.Point(i)) {
+					heap.Push(pq, entry{node: nil, point: i, key: sum(tree.Point(i))})
+				}
+			}
+			continue
+		}
+		for _, c := range e.node.Children {
+			if !dominatedBySky(c.Box.Max) {
+				pushNode(c)
+			}
+		}
+	}
+	sort.Ints(sky)
+	return sky, nil
+}
+
+func sum(v geom.Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// entry is a heap element: either an R-tree node or a point index.
+type entry struct {
+	node  *rtree.Node
+	point int
+	key   float64
+}
+
+// entryHeap is a max-heap on key with deterministic tie-breaks
+// (points before nodes, then smaller index first).
+type entryHeap []entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(a, b int) bool {
+	if h[a].key != h[b].key {
+		return h[a].key > h[b].key
+	}
+	// Ties: points pop before nodes so equal-sum duplicates are kept
+	// deterministically; among points, lower index first.
+	if (h[a].point >= 0) != (h[b].point >= 0) {
+		return h[a].point >= 0
+	}
+	return h[a].point < h[b].point
+}
+func (h entryHeap) Swap(a, b int)   { h[a], h[b] = h[b], h[a] }
+func (h *entryHeap) Push(x any)     { *h = append(*h, x.(entry)) }
+func (h *entryHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }

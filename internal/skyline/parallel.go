@@ -1,0 +1,88 @@
+package skyline
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// ComputeParallel computes the skyline with the divide & conquer
+// algorithm, running the two recursive halves concurrently down to a
+// depth that saturates `workers` goroutines (0 means GOMAXPROCS).
+// Output is identical to Compute with DC.
+func ComputeParallel(pts []geom.Vector, workers int) ([]int, error) {
+	if err := validate(pts); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := 0
+	for 1<<depth < workers {
+		depth++
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := dcParallel(pts, idx, depth)
+	sort.Ints(out)
+	return out, nil
+}
+
+// dcParallel mirrors dcRec, spawning goroutines for the first
+// `depth` split levels.
+func dcParallel(pts []geom.Vector, idx []int, depth int) []int {
+	if depth <= 0 || len(idx) <= 2048 {
+		return dcRec(pts, idx)
+	}
+	sorted := append([]int(nil), idx...)
+	sort.Slice(sorted, func(a, b int) bool {
+		pa, pb := pts[sorted[a]][0], pts[sorted[b]][0]
+		if pa != pb {
+			return pa < pb
+		}
+		return sorted[a] < sorted[b]
+	})
+	mid := len(sorted) / 2
+	low, high := sorted[:mid], sorted[mid:]
+	var skyLow, skyHigh []int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		skyLow = dcParallel(pts, low, depth-1)
+	}()
+	skyHigh = dcParallel(pts, high, depth-1)
+	wg.Wait()
+	// Same two-way cross-filter as the sequential merge (see dcRec
+	// for why high-vs-low is required under first-dimension ties).
+	merged := make([]int, 0, len(skyLow)+len(skyHigh))
+	for _, hi := range skyHigh {
+		dominated := false
+		for _, li := range skyLow {
+			if geom.Dominates(pts[li], pts[hi]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			merged = append(merged, hi)
+		}
+	}
+	for _, li := range skyLow {
+		dominated := false
+		for _, hi := range skyHigh {
+			if geom.Dominates(pts[hi], pts[li]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			merged = append(merged, li)
+		}
+	}
+	return merged
+}

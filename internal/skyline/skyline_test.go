@@ -1,0 +1,194 @@
+package skyline
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// brute is the obvious O(n²) oracle.
+func brute(pts []geom.Vector) []int {
+	var out []int
+	for i := range pts {
+		if IsSkylinePoint(pts, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+var algos = []Algorithm{BNL, SFS, DC}
+
+func TestKnownSmall(t *testing.T) {
+	pts := []geom.Vector{
+		{0.94, 0.80}, // p1: skyline
+		{0.76, 0.93}, // p2: skyline
+		{0.67, 1.00}, // p3: skyline
+		{1.00, 0.72}, // p4: skyline
+		{0.60, 0.60}, // dominated by p1..p3
+		{0.94, 0.79}, // dominated by p1
+	}
+	want := []int{0, 1, 2, 3}
+	for _, a := range algos {
+		got, err := Compute(pts, a)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: got %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	for _, a := range algos {
+		got, err := Compute(nil, a)
+		if err != nil || len(got) != 0 {
+			t.Fatalf("%v empty: %v, %v", a, got, err)
+		}
+		got, err = Compute([]geom.Vector{{1, 2}}, a)
+		if err != nil || !reflect.DeepEqual(got, []int{0}) {
+			t.Fatalf("%v single: %v, %v", a, got, err)
+		}
+	}
+}
+
+func TestDuplicatesRetained(t *testing.T) {
+	pts := []geom.Vector{{1, 1}, {1, 1}, {0.5, 0.5}}
+	for _, a := range algos {
+		got, err := Compute(pts, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, []int{0, 1}) {
+			t.Fatalf("%v: got %v, want both duplicates", a, got)
+		}
+	}
+}
+
+func TestAllSkyline(t *testing.T) {
+	// Perfect anti-correlation: nobody dominates anybody.
+	var pts []geom.Vector
+	for i := 0; i < 50; i++ {
+		x := float64(i) / 49
+		pts = append(pts, geom.Vector{x, 1 - x})
+	}
+	for _, a := range algos {
+		got, err := Compute(pts, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(pts) {
+			t.Fatalf("%v: %d skyline points, want all %d", a, len(got), len(pts))
+		}
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if _, err := Compute([]geom.Vector{{1, 2}, {1}}, BNL); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+	if _, err := Compute([]geom.Vector{{math.NaN(), 1}}, SFS); err == nil {
+		t.Fatal("NaN input accepted")
+	}
+	if _, err := Compute([]geom.Vector{{1}}, Algorithm(42)); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestAlgorithmsAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		d := 1 + rng.Intn(5)
+		pts := make([]geom.Vector, n)
+		for i := range pts {
+			p := make(geom.Vector, d)
+			for j := range p {
+				// Coarse grid provokes ties and duplicates.
+				p[j] = float64(rng.Intn(8)) / 7
+			}
+			pts[i] = p
+		}
+		want := brute(pts)
+		for _, a := range algos {
+			got, err := Compute(pts, a)
+			if err != nil {
+				t.Fatalf("%v: %v", a, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d %v: got %v, want %v", trial, a, got, want)
+			}
+		}
+	}
+}
+
+// Property: the skyline is a minimal dominating antichain — no
+// member dominates another, and every non-member is dominated by a
+// member.
+func TestSkylineCharacterization(t *testing.T) {
+	f := func(raw [20][3]float64) bool {
+		pts := make([]geom.Vector, len(raw))
+		for i := range raw {
+			p := make(geom.Vector, 3)
+			for j := range p {
+				p[j] = math.Abs(math.Mod(raw[i][j], 1))
+			}
+			pts[i] = p
+		}
+		sky, err := Compute(pts, SFS)
+		if err != nil {
+			return false
+		}
+		inSky := make(map[int]bool)
+		for _, i := range sky {
+			inSky[i] = true
+		}
+		for _, i := range sky {
+			for _, j := range sky {
+				if i != j && geom.Dominates(pts[i], pts[j]) {
+					return false
+				}
+			}
+		}
+		for i := range pts {
+			if inSky[i] {
+				continue
+			}
+			dominated := false
+			for _, s := range sky {
+				if geom.Dominates(pts[s], pts[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if BNL.String() != "BNL" || SFS.String() != "SFS" || DC.String() != "DC" {
+		t.Fatal("algorithm names wrong")
+	}
+	if Algorithm(9).String() == "" {
+		t.Fatal("unknown algorithm String empty")
+	}
+}
+
+func TestOf(t *testing.T) {
+	got, err := Of([]geom.Vector{{1, 0.5}, {0.5, 1}, {0.4, 0.4}})
+	if err != nil || !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("Of = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package viz renders the paper's two-dimensional geometry as SVG:
+// data points, the orthotope convex hull boundary, the happy-point
+// tents Y(p), critical-ratio rays and selected answer sets. It exists
+// for documentation and debugging — every construct in the paper's
+// Figures 1–6 can be regenerated from real library state (see
+// cmd/visualize).
+package viz
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/hull2d"
+)
+
+// ErrNeed2D is returned for non-planar input.
+var ErrNeed2D = errors.New("viz: only 2-dimensional scenes can be rendered")
+
+// Scene is a 2-D visualization under construction. Coordinates are
+// the data's own (assumed within (0, 1.05]); the viewport maps them
+// to an SVG canvas with the Y axis flipped to mathematical
+// orientation.
+type Scene struct {
+	size    int
+	margin  int
+	layers  []string
+	legends []string
+}
+
+// NewScene creates an empty square scene of the given pixel size.
+func NewScene(size int) *Scene {
+	if size < 100 {
+		size = 100
+	}
+	return &Scene{size: size, margin: 40}
+}
+
+// x/y map unit coordinates to canvas pixels.
+func (s *Scene) x(v float64) float64 {
+	return float64(s.margin) + v*float64(s.size-2*s.margin)
+}
+
+func (s *Scene) y(v float64) float64 {
+	return float64(s.size-s.margin) - v*float64(s.size-2*s.margin)
+}
+
+func (s *Scene) add(layer string) { s.layers = append(s.layers, layer) }
+
+// AddAxes draws the coordinate axes with unit ticks.
+func (s *Scene) AddAxes() {
+	s.add(fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333" stroke-width="1.5"/>`,
+		s.x(0), s.y(0), s.x(1.04), s.y(0)))
+	s.add(fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333" stroke-width="1.5"/>`,
+		s.x(0), s.y(0), s.x(0), s.y(1.04)))
+	s.add(fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="12" fill="#333">1.0</text>`, s.x(1.0)-8, s.y(0)+16))
+	s.add(fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="12" fill="#333">1.0</text>`, s.x(0)-26, s.y(1.0)+4))
+}
+
+// AddPoints draws a point set with the given color and optional
+// labels ("p1", "p2", …) when label is true.
+func (s *Scene) AddPoints(pts []geom.Vector, color string, radius float64, label bool) error {
+	for i, p := range pts {
+		if len(p) != 2 {
+			return fmt.Errorf("%w: point %d has dimension %d", ErrNeed2D, i, len(p))
+		}
+		s.add(fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`,
+			s.x(p[0]), s.y(p[1]), radius, color))
+		if label {
+			s.add(fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="11" fill="%s">p%d</text>`,
+				s.x(p[0])+6, s.y(p[1])-6, color, i+1))
+		}
+	}
+	return nil
+}
+
+// AddHullBoundary draws the non-origin boundary of the orthotope
+// convex hull of pts: the vertical drop from (0, maxY), the
+// upper-right chain, and the horizontal run to (maxX, 0).
+func (s *Scene) AddHullBoundary(pts []geom.Vector, color string) error {
+	p2, err := hull2d.FromVectors(pts)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	chain := hull2d.UpperRightChain(p2)
+	if len(chain) == 0 {
+		return nil
+	}
+	var maxX, maxY float64
+	for _, p := range p2 {
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<path d="M %.1f %.1f`, s.x(0), s.y(maxY))
+	for _, c := range chain {
+		fmt.Fprintf(&b, " L %.1f %.1f", s.x(c.X), s.y(c.Y))
+	}
+	fmt.Fprintf(&b, ` L %.1f %.1f" fill="none" stroke="%s" stroke-width="2"/>`, s.x(maxX), s.y(0), color)
+	s.add(b.String())
+	return nil
+}
+
+// AddTent draws the hyperplanes Y(p) of one point — the "tent" whose
+// interior is the subjugation region of p. Planes are drawn as line
+// segments across the unit square.
+func (s *Scene) AddTent(planes []geom.Hyperplane, color string) {
+	for _, h := range planes {
+		// Segment endpoints: intersections of ω·x = c with the box
+		// borders x ∈ {0, 1.02}, y ∈ {0, 1.02}.
+		pts := clipLineToBox(h, 1.02)
+		if len(pts) < 2 {
+			continue
+		}
+		s.add(fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1" stroke-dasharray="5,3"/>`,
+			s.x(pts[0][0]), s.y(pts[0][1]), s.x(pts[1][0]), s.y(pts[1][1]), color))
+	}
+}
+
+// AddRay draws the critical-ratio ray from the origin through q.
+func (s *Scene) AddRay(q geom.Vector, color string) error {
+	if len(q) != 2 {
+		return ErrNeed2D
+	}
+	// Extend to the box border.
+	t := 1.02 / maxf(q[0], q[1])
+	s.add(fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1" stroke-dasharray="2,3"/>`,
+		s.x(0), s.y(0), s.x(q[0]*t), s.y(q[1]*t), color))
+	return nil
+}
+
+// AddLegend appends a legend entry.
+func (s *Scene) AddLegend(color, text string) {
+	s.legends = append(s.legends, fmt.Sprintf("%s\x00%s", color, text))
+}
+
+// WriteTo renders the SVG document.
+func (s *Scene) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		s.size, s.size, s.size, s.size)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	for _, l := range s.layers {
+		b.WriteString(l)
+	}
+	// Legend block in the top-right corner.
+	sort.Strings(s.legends)
+	for i, entry := range s.legends {
+		parts := strings.SplitN(entry, "\x00", 2)
+		y := 20 + 18*i
+		fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="5" fill="%s"/>`, s.size-170, y, parts[0])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="#333">%s</text>`, s.size-158, y+4, parts[1])
+	}
+	b.WriteString(`</svg>`)
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// clipLineToBox returns up to two intersection points of the line
+// Normal·x = Offset with the borders of [0, lim]².
+func clipLineToBox(h geom.Hyperplane, lim float64) []geom.Vector {
+	var out []geom.Vector
+	push := func(x, y float64) {
+		if x < -1e-9 || x > lim+1e-9 || y < -1e-9 || y > lim+1e-9 {
+			return
+		}
+		for _, p := range out {
+			if geom.ApproxEqual(p[0], x, 1e-9) && geom.ApproxEqual(p[1], y, 1e-9) {
+				return
+			}
+		}
+		out = append(out, geom.Vector{x, y})
+	}
+	a, bb, c := h.Normal[0], h.Normal[1], h.Offset
+	if bb != 0 {
+		push(0, c/bb)
+		push(lim, (c-a*lim)/bb)
+	}
+	if a != 0 {
+		push(c/a, 0)
+		push((c-bb*lim)/a, lim)
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

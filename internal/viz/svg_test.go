@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func render(t *testing.T, s *Scene) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestSceneBasics(t *testing.T) {
+	s := NewScene(400)
+	s.AddAxes()
+	if err := s.AddPoints([]geom.Vector{{0.5, 0.5}, {0.9, 0.1}}, "#ff0000", 3, true); err != nil {
+		t.Fatal(err)
+	}
+	s.AddLegend("#ff0000", "points")
+	svg := render(t, s)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if got := strings.Count(svg, "<circle"); got != 3 { // 2 points + 1 legend dot
+		t.Fatalf("%d circles, want 3", got)
+	}
+	if !strings.Contains(svg, ">p1</text>") || !strings.Contains(svg, ">p2</text>") {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestAddPointsRejects3D(t *testing.T) {
+	s := NewScene(400)
+	if err := s.AddPoints([]geom.Vector{{1, 2, 3}}, "#000", 2, false); err == nil {
+		t.Fatal("3-d point accepted")
+	}
+	if err := s.AddRay(geom.Vector{1, 2, 3}, "#000"); err == nil {
+		t.Fatal("3-d ray accepted")
+	}
+}
+
+func TestAddHullBoundary(t *testing.T) {
+	s := NewScene(400)
+	pts := []geom.Vector{{1, 0.1}, {0.1, 1}, {0.7, 0.7}, {0.3, 0.3}}
+	if err := s.AddHullBoundary(pts, "#00f"); err != nil {
+		t.Fatal(err)
+	}
+	svg := render(t, s)
+	if !strings.Contains(svg, "<path") {
+		t.Fatal("hull path missing")
+	}
+	// The chain has 3 extreme points → the path has 4 line segments
+	// (drop + 3... measured as 4 "L" commands).
+	if got := strings.Count(svg, " L "); got != 4 {
+		t.Fatalf("%d path segments, want 4: %s", got, svg)
+	}
+}
+
+func TestClipLineToBox(t *testing.T) {
+	// Diagonal x + y = 1 crosses the unit-ish box at (0,1) and (1,0).
+	pts := clipLineToBox(geom.Hyperplane{Normal: geom.Vector{1, 1}, Offset: 1}, 1.02)
+	if len(pts) != 2 {
+		t.Fatalf("%d clip points: %v", len(pts), pts)
+	}
+	// Horizontal y = 0.5.
+	pts = clipLineToBox(geom.Hyperplane{Normal: geom.Vector{0, 1}, Offset: 0.5}, 1.02)
+	if len(pts) != 2 {
+		t.Fatalf("horizontal clip: %v", pts)
+	}
+	// A line missing the box entirely.
+	pts = clipLineToBox(geom.Hyperplane{Normal: geom.Vector{1, 1}, Offset: 5}, 1.02)
+	if len(pts) != 0 {
+		t.Fatalf("far line clipped: %v", pts)
+	}
+}
+
+func TestAddTentDrawsDashedLines(t *testing.T) {
+	s := NewScene(400)
+	s.AddTent([]geom.Hyperplane{
+		{Normal: geom.Vector{1, 0.33}, Offset: 1},
+		{Normal: geom.Vector{0, 1}, Offset: 1},
+	}, "#c00")
+	svg := render(t, s)
+	if got := strings.Count(svg, "stroke-dasharray"); got != 2 {
+		t.Fatalf("%d dashed lines, want 2", got)
+	}
+}
+
+func TestMinimumSize(t *testing.T) {
+	s := NewScene(10) // clamped to 100
+	svg := render(t, s)
+	if !strings.Contains(svg, `width="100"`) {
+		t.Fatal("size not clamped")
+	}
+}

@@ -1,0 +1,456 @@
+// Package kregret answers k-regret queries (maximum regret ratio
+// minimization): given a database of d-dimensional tuples where
+// larger is better on every attribute, select at most k tuples so
+// that, for every linear utility function a user might hold, the best
+// selected tuple is almost as good as the best tuple in the whole
+// database.
+//
+// The package implements "Geometry Approach for k-Regret Query"
+// (Peng Peng and Raymond Chi-Wing Wong, ICDE 2014): the happy-point
+// candidate set, the GeoGreedy algorithm, and its materialized
+// variant StoredList, together with the LP-based Greedy baseline of
+// Nanongkai et al. (VLDB 2010) that the paper compares against.
+//
+// # Quick start
+//
+//	ds, err := kregret.NewDataset(points)        // normalizes to (0,1]
+//	ans, err := ds.Query(10)                     // GeoGreedy over happy points
+//	fmt.Println(ans.Indices, ans.MRR)            // ≤ 10 tuples, their regret
+//
+// For repeated queries over the same data, build the materialized
+// index once:
+//
+//	idx, err := ds.BuildIndex()                  // StoredList preprocessing
+//	ans, err := idx.Query(10)                    // O(k) per query
+//
+// See the examples directory for complete programs and DESIGN.md for
+// the geometry behind the implementation.
+package kregret
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/happy"
+	"repro/internal/skyline"
+)
+
+// Point is one tuple: its coordinates on the d attributes, larger
+// preferred on each.
+type Point []float64
+
+// Errors returned by the public API.
+var (
+	ErrNoPoints = errors.New("kregret: dataset has no points")
+	ErrBadK     = errors.New("kregret: k must be at least 1")
+)
+
+// Algorithm selects which solver answers a query.
+type Algorithm int
+
+// Available algorithms.
+const (
+	// AlgoGeoGreedy is the paper's geometric greedy (default).
+	AlgoGeoGreedy Algorithm = iota
+	// AlgoGreedy is the LP-based baseline of Nanongkai et al. —
+	// same answers, much slower; exists for benchmarking.
+	AlgoGreedy
+	// AlgoCube is the non-adaptive CUBE baseline of Nanongkai et al.:
+	// essentially free to compute, provable (d−1)/(t+d−1) regret
+	// bound, but much worse answers in practice.
+	AlgoCube
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoGeoGreedy:
+		return "GeoGreedy"
+	case AlgoGreedy:
+		return "Greedy"
+	case AlgoCube:
+		return "Cube"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// CandidateSet selects which filtered subset of the data the solver
+// searches.
+type CandidateSet int
+
+// Available candidate sets.
+const (
+	// CandidatesHappy restricts the search to happy points — the
+	// paper's contribution, optimal by its Lemma 2 and the smallest
+	// of the three sets (default).
+	CandidatesHappy CandidateSet = iota
+	// CandidatesSkyline restricts to skyline points, the candidate
+	// set of all pre-2014 work.
+	CandidatesSkyline
+	// CandidatesAll searches the raw dataset.
+	CandidatesAll
+)
+
+func (c CandidateSet) String() string {
+	switch c {
+	case CandidatesHappy:
+		return "happy"
+	case CandidatesSkyline:
+		return "skyline"
+	case CandidatesAll:
+		return "all"
+	}
+	return fmt.Sprintf("CandidateSet(%d)", int(c))
+}
+
+// Option customizes NewDataset or Query.
+type Option func(*options)
+
+type options struct {
+	normalize  bool
+	algorithm  Algorithm
+	candidates CandidateSet
+	workers    int
+}
+
+func defaultOptions() options {
+	return options{normalize: true, algorithm: AlgoGeoGreedy, candidates: CandidatesHappy, workers: 1}
+}
+
+// WithParallelism makes the candidate-set preprocessing (skyline and
+// happy-point extraction) use up to `workers` goroutines (0 means
+// GOMAXPROCS). The query algorithms themselves stay sequential,
+// mirroring the paper's implementation; preprocessing dominates the
+// total time on large datasets and parallelizes exactly. Only
+// meaningful as a NewDataset option.
+func WithParallelism(workers int) Option { return func(o *options) { o.workers = workers } }
+
+// WithoutNormalization makes NewDataset keep coordinates as given.
+// The data must then already be strictly positive; the paper's
+// max-per-dimension-equals-one convention is recommended but not
+// required.
+func WithoutNormalization() Option { return func(o *options) { o.normalize = false } }
+
+// WithAlgorithm selects the query solver.
+func WithAlgorithm(a Algorithm) Option { return func(o *options) { o.algorithm = a } }
+
+// WithCandidates selects the candidate set the solver searches.
+func WithCandidates(c CandidateSet) Option { return func(o *options) { o.candidates = c } }
+
+// Dataset is an immutable collection of tuples prepared for k-regret
+// queries. Candidate sets (skyline, happy, hull) are computed lazily
+// and cached; a Dataset is not safe for concurrent use while those
+// caches are still being filled — share it only after a first Query
+// or after calling the accessor you need, or guard it externally.
+type Dataset struct {
+	pts     []geom.Vector
+	sky     []int
+	happy   []int
+	conv    []int
+	workers int
+}
+
+// NewDataset validates and (by default) normalizes the tuples so
+// every attribute maximum is 1 and every coordinate is strictly
+// positive, per the paper's conventions. The input is copied.
+func NewDataset(points []Point, opts ...Option) (*Dataset, error) {
+	o := defaultOptions()
+	for _, f := range opts {
+		f(&o)
+	}
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	pts := make([]geom.Vector, len(points))
+	for i, p := range points {
+		pts[i] = geom.Vector(p).Clone()
+	}
+	if o.normalize {
+		norm, err := dataset.Normalize(pts)
+		if err != nil {
+			return nil, fmt.Errorf("kregret: %w", err)
+		}
+		pts = norm
+	}
+	d := len(pts[0])
+	for i, p := range pts {
+		if len(p) != d {
+			return nil, fmt.Errorf("kregret: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		if !p.IsFinite() || !p.AllPositive() {
+			return nil, fmt.Errorf("kregret: point %d (%v) must be finite and strictly positive (use normalization or shift your data)", i, p)
+		}
+	}
+	return &Dataset{pts: pts, workers: o.workers}, nil
+}
+
+// Len returns the number of tuples.
+func (d *Dataset) Len() int { return len(d.pts) }
+
+// Dim returns the number of attributes.
+func (d *Dataset) Dim() int { return len(d.pts[0]) }
+
+// Point returns the (normalized) coordinates of tuple i.
+func (d *Dataset) Point(i int) Point {
+	return Point(d.pts[i].Clone())
+}
+
+// Skyline returns the indices of the skyline tuples (not dominated by
+// any other tuple), computed once and cached.
+func (d *Dataset) Skyline() ([]int, error) {
+	if d.sky == nil {
+		var sky []int
+		var err error
+		if d.workers == 1 {
+			sky, err = skyline.Of(d.pts)
+		} else {
+			sky, err = skyline.ComputeParallel(d.pts, d.workers)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("kregret: %w", err)
+		}
+		d.sky = sky
+	}
+	return append([]int(nil), d.sky...), nil
+}
+
+// HappyPoints returns the indices of the happy tuples — the paper's
+// candidate set, a subset of the skyline that still contains an
+// optimal answer for every k (Lemma 2) — computed once and cached.
+func (d *Dataset) HappyPoints() ([]int, error) {
+	if d.happy == nil {
+		if _, err := d.Skyline(); err != nil {
+			return nil, err
+		}
+		if d.workers == 1 {
+			d.happy = happy.ComputeAmongSkyline(d.pts, d.sky)
+		} else {
+			d.happy = happy.ComputeAmongSkylineParallel(d.pts, d.sky, d.workers)
+		}
+	}
+	return append([]int(nil), d.happy...), nil
+}
+
+// ConvexPoints returns the indices of the tuples that are extreme
+// points of the convex hull (D_conv in the paper), computed once and
+// cached.
+func (d *Dataset) ConvexPoints() ([]int, error) {
+	if d.conv == nil {
+		if _, err := d.HappyPoints(); err != nil {
+			return nil, err
+		}
+		conv, err := core.ConvexAmongHappy(d.pts, d.happy)
+		if err != nil {
+			return nil, fmt.Errorf("kregret: %w", err)
+		}
+		d.conv = conv
+	}
+	return append([]int(nil), d.conv...), nil
+}
+
+// Answer is the result of a k-regret query.
+type Answer struct {
+	// Indices of the selected tuples in the original dataset, in
+	// selection order.
+	Indices []int
+	// MRR is the maximum regret ratio of the selection over the
+	// whole dataset and all linear utility functions.
+	MRR float64
+	// Algorithm and Candidates record how the answer was produced.
+	Algorithm  Algorithm
+	Candidates CandidateSet
+}
+
+// candidateIndices resolves the configured candidate set to dataset
+// indices.
+func (d *Dataset) candidateIndices(c CandidateSet) ([]int, error) {
+	switch c {
+	case CandidatesHappy:
+		return d.HappyPoints()
+	case CandidatesSkyline:
+		return d.Skyline()
+	case CandidatesAll:
+		idx := make([]int, len(d.pts))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx, nil
+	default:
+		return nil, fmt.Errorf("kregret: unknown candidate set %v", c)
+	}
+}
+
+// Query answers a k-regret query: at most k tuples minimizing (to
+// the greedy heuristic's quality, matching the paper) the maximum
+// regret ratio. The default configuration is GeoGreedy over happy
+// points; use WithAlgorithm / WithCandidates to change it.
+func (d *Dataset) Query(k int, opts ...Option) (*Answer, error) {
+	o := defaultOptions()
+	for _, f := range opts {
+		f(&o)
+	}
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	cand, err := d.candidateIndices(o.candidates)
+	if err != nil {
+		return nil, err
+	}
+	candPts, err := core.Select(d.pts, cand)
+	if err != nil {
+		return nil, fmt.Errorf("kregret: %w", err)
+	}
+	var res *core.Result
+	switch o.algorithm {
+	case AlgoGeoGreedy:
+		res, err = core.GeoGreedy(candPts, k)
+	case AlgoGreedy:
+		res, err = core.Greedy(candPts, k)
+	case AlgoCube:
+		res, err = core.Cube(candPts, k)
+	default:
+		return nil, fmt.Errorf("kregret: unknown algorithm %v", o.algorithm)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("kregret: %w", err)
+	}
+	ans := &Answer{
+		Indices:    make([]int, len(res.Indices)),
+		MRR:        res.MRR,
+		Algorithm:  o.algorithm,
+		Candidates: o.candidates,
+	}
+	for i, ci := range res.Indices {
+		ans.Indices[i] = cand[ci]
+	}
+	return ans, nil
+}
+
+// EvaluateMRR computes the exact maximum regret ratio of an arbitrary
+// selection (dataset indices) over the whole dataset, using the
+// paper's Lemma 1.
+func (d *Dataset) EvaluateMRR(selection []int) (float64, error) {
+	mrr, err := core.MRRGeometric(d.pts, selection)
+	if err != nil {
+		return 0, fmt.Errorf("kregret: %w", err)
+	}
+	return mrr, nil
+}
+
+// RegretOf computes the regret ratio of a selection for one specific
+// linear utility function given by its non-negative weight vector.
+func (d *Dataset) RegretOf(selection []int, weights Point) (float64, error) {
+	r, err := core.RegretOf(d.pts, selection, geom.Vector(weights))
+	if err != nil {
+		return 0, fmt.Errorf("kregret: %w", err)
+	}
+	return r, nil
+}
+
+// AverageRegret estimates the mean regret ratio of a selection over
+// utility functions drawn uniformly from the non-negative unit
+// sphere (a Monte-Carlo extension beyond the paper).
+func (d *Dataset) AverageRegret(selection []int, samples int, seed int64) (float64, error) {
+	r, err := core.AverageRegretSampled(d.pts, selection, samples, seed)
+	if err != nil {
+		return 0, fmt.Errorf("kregret: %w", err)
+	}
+	return r, nil
+}
+
+// WorstUtility returns a linear utility function (unit weight vector)
+// achieving the selection's maximum regret ratio, together with the
+// dataset index of the witness tuple the user would have preferred.
+// Witness is −1 when the regret is zero.
+func (d *Dataset) WorstUtility(selection []int) (weights Point, witness int, err error) {
+	w, wit, err := core.WorstUtility(d.pts, selection)
+	if err != nil {
+		return nil, -1, fmt.Errorf("kregret: %w", err)
+	}
+	return Point(w), wit, nil
+}
+
+// Index is the materialized StoredList of the paper's Section IV-B:
+// one expensive preprocessing pass, then O(k) per query.
+type Index struct {
+	list *core.StoredList
+	cand []int
+}
+
+// BuildIndex runs the StoredList preprocessing over the happy points.
+// The returned Index is immutable and safe for concurrent queries.
+func (d *Dataset) BuildIndex() (*Index, error) {
+	return d.buildIndex(0)
+}
+
+// BuildIndexUpTo materializes the index only up to queries of size
+// maxK — a fraction of the full preprocessing cost on large frontier
+// sets. Queries with k > maxK return an error unless the greedy
+// exhausted the hull earlier (zero regret reached).
+func (d *Dataset) BuildIndexUpTo(maxK int) (*Index, error) {
+	if maxK < 1 {
+		return nil, ErrBadK
+	}
+	return d.buildIndex(maxK)
+}
+
+func (d *Dataset) buildIndex(maxK int) (*Index, error) {
+	cand, err := d.HappyPoints()
+	if err != nil {
+		return nil, err
+	}
+	candPts, err := core.Select(d.pts, cand)
+	if err != nil {
+		return nil, fmt.Errorf("kregret: %w", err)
+	}
+	var list *core.StoredList
+	if maxK <= 0 {
+		list, err = core.BuildStoredList(candPts)
+	} else {
+		list, err = core.BuildStoredListUpTo(candPts, maxK)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("kregret: %w", err)
+	}
+	return &Index{list: list, cand: cand}, nil
+}
+
+// Query answers a k-regret query from the materialized list. The
+// answer equals Dataset.Query with GeoGreedy over happy points.
+func (x *Index) Query(k int) (*Answer, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	sel, err := x.list.Query(k)
+	if err != nil {
+		return nil, fmt.Errorf("kregret: %w", err)
+	}
+	mrr, err := x.list.MRRFor(k)
+	if err != nil {
+		return nil, fmt.Errorf("kregret: %w", err)
+	}
+	ans := &Answer{
+		Indices:    make([]int, len(sel)),
+		MRR:        mrr,
+		Algorithm:  AlgoGeoGreedy,
+		Candidates: CandidatesHappy,
+	}
+	for i, ci := range sel {
+		ans.Indices[i] = x.cand[ci]
+	}
+	return ans, nil
+}
+
+// Len returns the materialized list length (the k beyond which every
+// answer has zero regret).
+func (x *Index) Len() int { return x.list.Len() }
+
+// MinSize answers the min-size dual query: the smallest k such that
+// Query(k) has maximum regret ratio at most eps. The second return
+// value is false when even the full index exceeds eps (only possible
+// for partially materialized indexes built with BuildIndexUpTo).
+func (x *Index) MinSize(eps float64) (int, bool) {
+	return x.list.MinK(eps)
+}

@@ -1,0 +1,86 @@
+package kregret
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// ErrIndexMismatch is returned by LoadIndex when the serialized index
+// was built from a different dataset than the one supplied.
+var ErrIndexMismatch = errors.New("kregret: index does not match dataset")
+
+// indexWire is the gob envelope around a stored list: the happy
+// candidate mapping plus a checksum binding the index to the dataset
+// it was built from.
+type indexWire struct {
+	Version  int
+	Checksum uint64
+	N, Dim   int
+	Cand     []int
+}
+
+const indexVersion = 1
+
+// checksum fingerprints the (normalized) dataset contents.
+func (d *Dataset) checksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range d.pts {
+		for _, x := range p {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// Save serializes the index so later processes can skip the expensive
+// StoredList preprocessing. The dataset itself is not stored; load
+// with LoadIndex against an identically-constructed Dataset.
+func (x *Index) Save(w io.Writer, d *Dataset) error {
+	if err := gob.NewEncoder(w).Encode(indexWire{
+		Version:  indexVersion,
+		Checksum: d.checksum(),
+		N:        d.Len(),
+		Dim:      d.Dim(),
+		Cand:     x.cand,
+	}); err != nil {
+		return fmt.Errorf("kregret: saving index: %w", err)
+	}
+	if err := x.list.Save(w); err != nil {
+		return fmt.Errorf("kregret: saving index list: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex restores an index saved with Index.Save, verifying that
+// it was built from exactly the given dataset (content checksum).
+func LoadIndex(r io.Reader, d *Dataset) (*Index, error) {
+	var wire indexWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("kregret: loading index: %w", err)
+	}
+	if wire.Version != indexVersion {
+		return nil, fmt.Errorf("kregret: index version %d, want %d", wire.Version, indexVersion)
+	}
+	if wire.N != d.Len() || wire.Dim != d.Dim() || wire.Checksum != d.checksum() {
+		return nil, ErrIndexMismatch
+	}
+	for _, c := range wire.Cand {
+		if c < 0 || c >= d.Len() {
+			return nil, fmt.Errorf("kregret: index candidate %d out of range", c)
+		}
+	}
+	list, err := core.LoadStoredList(r)
+	if err != nil {
+		return nil, fmt.Errorf("kregret: loading index: %w", err)
+	}
+	return &Index{list: list, cand: wire.Cand}, nil
+}
