@@ -1,0 +1,30 @@
+# Development entry points. `make check` is the extended verify chain
+# CI runs; see ROADMAP.md.
+
+GO ?= go
+
+.PHONY: build vet kregret-vet test test-race test-debug check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Domain-aware static analysis: floatcmp, slicealias, naninf, errdrop.
+kregret-vet:
+	$(GO) run ./cmd/kregret-vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Same tests with the runtime invariant layer compiled in: violated
+# geometric invariants (Lemma 1 ranges, downward-closedness, simplex
+# feasibility) panic instead of passing silently.
+test-debug:
+	$(GO) test -tags kregretdebug ./...
+
+check: build vet kregret-vet test-race test-debug

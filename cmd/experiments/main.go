@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -140,8 +141,7 @@ func writeCSV(name string, write func(io.Writer) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }
@@ -263,7 +263,9 @@ func printSynth(rows []exp.SynthRow, param, csvName string) {
 			r.Param, r.N, r.D, r.K, r.Happy, r.MRR, greedy,
 			r.GeoGreedy.Round(time.Microsecond))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	}
 }
 
 func headline(n int, withGreedy bool) error {

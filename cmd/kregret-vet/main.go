@@ -1,0 +1,88 @@
+// Command kregret-vet runs this repository's domain-specific static
+// analyzers (internal/analysis) over the whole module: floatcmp,
+// slicealias, naninf and errdrop — the hazard classes that break the
+// floating-point geometry invariants of Peng & Wong (ICDE 2014).
+//
+// Usage:
+//
+//	go run ./cmd/kregret-vet ./...
+//	go run ./cmd/kregret-vet -run floatcmp,errdrop ./...
+//	go run ./cmd/kregret-vet -tags kregretdebug ./...
+//	go run ./cmd/kregret-vet -list
+//
+// The package pattern argument is accepted for familiarity but the
+// tool always analyzes the entire module containing the working
+// directory (or the -root directory). Findings are printed as
+// file:line:col: [analyzer] message and the exit status is 1 when any
+// finding is reported, 2 on load/type-check failure, 0 when clean —
+// so the command slots directly into CI.
+//
+// Intentional, reviewed exceptions are suppressed in source with a
+// justification directive on or directly above the offending line:
+//
+//	n := math.Sqrt(s) //kregret:allow naninf: s is a sum of squares
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		root     = flag.String("root", ".", "module root directory to analyze")
+		run      = flag.String("run", "", "comma-separated analyzers to run (default: all)")
+		tags     = flag.String("tags", "", "comma-separated build tags to apply")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		verbose  = flag.Bool("v", false, "print per-package progress")
+		exitCode = 0
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *run != "" {
+		var err error
+		analyzers, err = analysis.ByName(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	var buildTags []string
+	if *tags != "" {
+		buildTags = strings.Split(*tags, ",")
+	}
+
+	pkgs, err := analysis.LoadModule(*root, buildTags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kregret-vet: %v\n", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			fmt.Fprintf(os.Stderr, "kregret-vet: loaded %s (%d files)\n", p.Path, len(p.Files))
+		}
+	}
+
+	findings := analysis.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "kregret-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		exitCode = 1
+	}
+	os.Exit(exitCode)
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -138,8 +139,7 @@ func run(in, out string, k, tent, size int) error {
 		return err
 	}
 	if _, err := scene.WriteTo(f); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

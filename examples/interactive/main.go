@@ -99,6 +99,9 @@ func normalize(w []float64) kregret.Point {
 	}
 	n = math.Sqrt(n)
 	out := make(kregret.Point, len(w))
+	if n <= 0 {
+		return out // degenerate all-zero weights
+	}
 	for i, x := range w {
 		out[i] = x / n
 	}

@@ -64,8 +64,12 @@ func main() {
 
 	fmt.Printf("k=%d over happy points:\n", k)
 	fmt.Printf("  GeoGreedy: regret %.3f%% in %v\n", 100*geo.MRR, geoTime.Round(time.Millisecond))
+	slowdown := 0.0
+	if geoTime > 0 {
+		slowdown = float64(grdTime) / float64(geoTime)
+	}
 	fmt.Printf("  Greedy:    regret %.3f%% in %v  (%.0f× slower, same answer quality)\n",
-		100*grd.MRR, grdTime.Round(time.Millisecond), float64(grdTime)/float64(geoTime))
+		100*grd.MRR, grdTime.Round(time.Millisecond), slowdown)
 
 	same := len(geo.Indices) == len(grd.Indices)
 	if same {

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Fixture files mark expected findings with trailing comments:
+//
+//	return a == b // want: floatcmp
+//
+// Multiple analyzers may be listed comma-separated. Every annotated
+// line must produce exactly the listed findings and every unannotated
+// line must produce none — so fixtures prove both that each analyzer
+// catches its seeded violation and that the clean counterexamples
+// (and the //kregret:allow directive) stay silent.
+var wantRe = regexp.MustCompile(`// want: ([a-z, ]+)`)
+
+func fixtureWants(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	wants := map[string][]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			for _, name := range strings.Split(m[1], ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					wants[key] = append(wants[key], name)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads testdata/src/<fixture> under importPath, runs the
+// full analyzer suite over it and matches findings line-for-line
+// against the // want annotations.
+func runFixture(t *testing.T, fixture, importPath, analyzer string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	findings := Run([]*Package{pkg}, All())
+
+	got := map[string][]string{}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		got[key] = append(got[key], f.Analyzer)
+	}
+	want := fixtureWants(t, dir)
+
+	seeded := false
+	for _, names := range want {
+		for _, n := range names {
+			if n == analyzer {
+				seeded = true
+			}
+		}
+	}
+	if !seeded {
+		t.Fatalf("fixture %s seeds no %s violation", fixture, analyzer)
+	}
+
+	keys := map[string]bool{}
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range keys {
+		g, w := append([]string(nil), got[k]...), append([]string(nil), want[k]...)
+		sort.Strings(g)
+		sort.Strings(w)
+		if strings.Join(g, ",") != strings.Join(w, ",") {
+			t.Errorf("%s: got findings [%s], want [%s]", k, strings.Join(g, ","), strings.Join(w, ","))
+		}
+	}
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	runFixture(t, "floatcmp", "floatcmpfix", "floatcmp")
+}
+
+func TestSliceAliasFixture(t *testing.T) {
+	// The import path must not contain "/internal/": the analyzer
+	// exempts internal packages.
+	runFixture(t, "slicealias", "slicealiasfix", "slicealias")
+}
+
+func TestNaNInfFixture(t *testing.T) {
+	runFixture(t, "naninf", "naninffix", "naninf")
+}
+
+func TestErrDropFixture(t *testing.T) {
+	runFixture(t, "errdrop", "errdropfix", "errdrop")
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("floatcmp, errdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "floatcmp" || as[1].Name != "errdrop" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+// TestRepositoryIsVetClean runs the full analyzer suite over the
+// repository itself: the working tree must stay kregret-vet clean.
+// This is the same check `go run ./cmd/kregret-vet ./...` performs.
+func TestRepositoryIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	pkgs, err := LoadModule(filepath.Join("..", ".."), nil)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, f := range Run(pkgs, All()) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded error returns in non-test files: bare call
+// statements (including defer/go) whose callee returns an error, and
+// assignments that throw every result away (`_ = f()`). The LP
+// solver, persistence layer and dataset readers all signal numeric
+// failure through error values; a dropped one turns an infeasible
+// tableau or a truncated file into a silently wrong regret ratio.
+//
+// Calls that are documented to never return a meaningful error are
+// exempt: fmt.Print/Printf/Println, fmt.Fprint* to os.Stdout /
+// os.Stderr, to an in-memory writer (*strings.Builder,
+// *bytes.Buffer) or to a *tabwriter.Writer (whose write errors are
+// deferred to Flush — Flush itself is not exempt), and the Write*
+// methods of the in-memory writers.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag discarded error returns (`_ =` and bare calls) in non-test files",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				reportDroppedCall(pass, n.X, "")
+			case *ast.DeferStmt:
+				reportDroppedCall(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				reportDroppedCall(pass, n.Call, "go ")
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+						return true
+					}
+				}
+				reportDroppedCall(pass, n.Rhs[0], "")
+			}
+			return true
+		})
+	}
+}
+
+func reportDroppedCall(pass *Pass, e ast.Expr, kind string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	info := pass.Pkg.Info
+	if isConversion(info, call) || !callReturnsError(info, call) || isErrDropExempt(info, call) {
+		return
+	}
+	name := calleeName(info, call)
+	pass.Reportf(call.Pos(), "%serror return of %s is discarded; handle it or assign it explicitly", kind, name)
+}
+
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if obj := calleeObj(info, call); obj != nil {
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return fn.Name()
+			}
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return obj.Name()
+	}
+	return "call"
+}
+
+// isErrDropExempt recognizes best-effort writes whose errors are
+// conventionally ignored.
+func isErrDropExempt(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	// Methods of in-memory writers never fail.
+	if sig != nil && sig.Recv() != nil {
+		if isInMemoryWriter(sig.Recv().Type()) {
+			return true
+		}
+		return false
+	}
+	if fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		dst := ast.Unparen(call.Args[0])
+		if sel, ok := dst.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "os" {
+					return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+				}
+			}
+		}
+		if tv, ok := info.Types[dst]; ok && (isInMemoryWriter(tv.Type) || isNamedType(tv.Type, "text/tabwriter", "Writer")) {
+			return true
+		}
+	}
+	return false
+}
+
+func isInMemoryWriter(t types.Type) bool {
+	return isNamedType(t, "strings", "Builder") || isNamedType(t, "bytes", "Buffer")
+}
+
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}

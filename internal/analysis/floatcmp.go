@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// FloatCmp flags exact equality on floating-point values. Lemma 1 of
+// the paper only holds when hull membership, facet incidence and
+// critical-ratio ties are decided with a tolerance; a single raw `==`
+// (typically `x == 0` or a switch on a float) silently reintroduces
+// the numeric fragility the geom epsilon helpers exist to remove.
+//
+// Flagged: `==` and `!=` where either operand is floating-point, and
+// `switch` statements whose tag is floating-point. Comparisons where
+// both operands are compile-time constants are exempt, as is the file
+// that defines the tolerance vocabulary itself, internal/geom/eps.go.
+// Ordered comparisons (<, <=, >, >=) are not flagged: they are
+// well-defined on floats and epsilon-free orderings (e.g. sort
+// comparators) must stay exact to remain transitive.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!=/switch on floating-point operands outside internal/geom/eps.go",
+	Run:  runFloatCmp,
+}
+
+// floatCmpExemptFile is the one file allowed to compare floats
+// directly: it defines the epsilon helpers everything else must use.
+var floatCmpExemptFile = filepath.Join("internal", "geom", "eps.go")
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		name := pass.Pkg.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, floatCmpExemptFile) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				xt, xok := info.Types[n.X]
+				yt, yok := info.Types[n.Y]
+				if !xok || !yok || (!isFloat(xt.Type) && !isFloat(yt.Type)) {
+					return true
+				}
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant-folded: exact by definition
+				}
+				pass.Reportf(n.OpPos, "floating-point %s comparison; use the geom epsilon helpers (ApproxEqual/Zero) instead", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				if tv, ok := info.Types[n.Tag]; ok && isFloat(tv.Type) {
+					pass.Reportf(n.Switch, "switch on floating-point value compares cases with ==; restructure with epsilon comparisons")
+				}
+			}
+			return true
+		})
+	}
+}

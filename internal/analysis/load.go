@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked (non-test) package of the
+// module under analysis.
+type Package struct {
+	Path  string // import path, e.g. repro/internal/geom
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadModule discovers, parses and type-checks every non-test package
+// under the module rooted at root. Build constraints are honoured
+// with the supplied extra build tags (e.g. "kregretdebug"). Standard
+// library imports are type-checked from GOROOT source, so the loader
+// needs no pre-compiled export data and no tooling beyond the stdlib.
+func LoadModule(root string, tags []string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := build.Default
+	ctx.BuildTags = append(append([]string(nil), ctx.BuildTags...), tags...)
+
+	type rawPkg struct {
+		dir     string
+		path    string
+		files   []string
+		imports []string
+	}
+	var raws []*rawPkg
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "results") {
+			return filepath.SkipDir
+		}
+		bp, err := ctx.ImportDir(path, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil
+			}
+			return fmt.Errorf("analysis: scanning %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		raws = append(raws, &rawPkg{dir: path, path: importPath, files: bp.GoFiles, imports: bp.Imports})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(raws, func(i, j int) bool { return raws[i].path < raws[j].path })
+
+	// Topologically order the module-local import graph so every
+	// dependency is checked before its importers.
+	byPath := make(map[string]*rawPkg, len(raws))
+	for _, r := range raws {
+		byPath[r.path] = r
+	}
+	var order []*rawPkg
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(*rawPkg) error
+	visit = func(r *rawPkg) error {
+		switch state[r.path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", r.path)
+		case 2:
+			return nil
+		}
+		state[r.path] = 1
+		for _, imp := range r.imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[r.path] = 2
+		order = append(order, r)
+		return nil
+	}
+	for _, r := range raws {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		std: importer.ForCompiler(fset, "source", nil),
+		mod: map[string]*types.Package{},
+	}
+	var pkgs []*Package
+	for _, r := range order {
+		var files []*ast.File
+		for _, f := range r.files {
+			parsed, err := parser.ParseFile(fset, filepath.Join(r.dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			files = append(files, parsed)
+		}
+		pkg, err := check(r.path, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", r.path, err)
+		}
+		pkg.Dir = r.dir
+		imp.mod[r.path] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	// Report packages in path order regardless of dependency order.
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the .go files of a single directory
+// as one package. Used by the analyzer fixture tests; fixture
+// packages may import only the standard library.
+func LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		parsed, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, parsed)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return check(importPath, fset, files, importer.ForCompiler(fset, "source", nil))
+}
+
+func check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// moduleImporter resolves module-local import paths to the packages
+// this loader has already checked and everything else (the standard
+// library) through the GOROOT source importer.
+type moduleImporter struct {
+	std types.Importer
+	mod map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.mod[path]; ok {
+		return pkg, nil
+	}
+	return m.std.Import(path)
+}
+
+// modulePath reads the module declaration from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s/go.mod", root)
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NaNInf flags floating-point expressions that can silently produce
+// NaN or ±Inf — math.Sqrt/Log/Acos/… calls and float divisions —
+// inside functions that never guard the inputs or the result. A NaN
+// critical ratio poisons every comparison after it (all compare
+// false), which is how wrong regret ratios appear at d ≥ 6 without
+// any crash.
+//
+// The guard heuristic is function-scoped and deliberately coarse: an
+// operand is considered guarded when any identifier it is built from
+// (or the variable the result is assigned to) also appears in an
+// ordered comparison (if/for/switch-case condition), or as an
+// argument to math.IsNaN / math.IsInf / math.Abs / math.Max /
+// math.Min, or to any helper of the geom package (the epsilon
+// vocabulary), or in a call to a method named IsFinite. This errs
+// toward missing sophisticated guards rather than drowning real
+// hazards in noise.
+var NaNInf = &Analyzer{
+	Name: "naninf",
+	Doc:  "flag unguarded math.Sqrt/Log/Acos calls and float divisions that can produce NaN/Inf",
+	Run:  runNaNInf,
+}
+
+// riskyMathFuncs produce NaN or ±Inf for inputs outside their domain.
+var riskyMathFuncs = map[string]bool{
+	"Sqrt": true, "Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Acos": true, "Asin": true, "Pow": true,
+}
+
+// guardFuncs (package math) mentioning an identifier count as a guard.
+var guardMathFuncs = map[string]bool{
+	"IsNaN": true, "IsInf": true, "Abs": true, "Max": true, "Min": true,
+}
+
+func runNaNInf(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkNaNInf(pass, fn)
+		}
+	}
+}
+
+func checkNaNInf(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect the guarded identifier set.
+	guarded := map[types.Object]bool{}
+	addGuards := func(e ast.Expr) {
+		if e != nil {
+			rootIdents(info, e, guarded)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if containsComparison(n.Cond) {
+				addGuards(n.Cond)
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && containsComparison(n.Cond) {
+				addGuards(n.Cond)
+			}
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				if containsComparison(e) {
+					addGuards(e)
+				}
+			}
+		case *ast.CallExpr:
+			if isGuardCall(info, n) {
+				for _, arg := range n.Args {
+					addGuards(arg)
+				}
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					addGuards(sel.X)
+				}
+			}
+		}
+		return true
+	})
+
+	isGuarded := func(e ast.Expr) bool {
+		roots := map[types.Object]bool{}
+		rootIdents(info, e, roots)
+		for obj := range roots {
+			if guarded[obj] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// resultGuarded: the expression's value is assigned to a variable
+	// that is itself in the guarded set (checked after production).
+	resultGuarded := func(assignees []ast.Expr) bool {
+		for _, lhs := range assignees {
+			if isGuarded(lhs) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: flag risky producers. Track the nearest enclosing
+	// assignment so `v := math.Sqrt(x)` with a later check on v counts.
+	var visit func(n ast.Node, assignees []ast.Expr)
+	visit = func(n ast.Node, assignees []ast.Expr) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				visit(rhs, n.Lhs)
+			}
+			return
+		case *ast.CallExpr:
+			if fnObj, name := mathCallee(info, n); fnObj && riskyMathFuncs[name] {
+				argsGuarded := true
+				for _, arg := range n.Args {
+					if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+						continue // constant argument
+					}
+					if !isGuarded(arg) {
+						argsGuarded = false
+					}
+				}
+				allConst := true
+				for _, arg := range n.Args {
+					if tv, ok := info.Types[arg]; !ok || tv.Value == nil {
+						allConst = false
+					}
+				}
+				if !allConst && !argsGuarded && !resultGuarded(assignees) {
+					pass.Reportf(n.Pos(), "result of math.%s is never guarded with math.IsNaN/IsInf or an eps check", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.QUO {
+				if tv, ok := info.Types[n]; ok && isFloat(tv.Type) && tv.Value == nil {
+					if dtv, ok := info.Types[n.Y]; ok && dtv.Value == nil {
+						if !isGuarded(n.Y) && !resultGuarded(assignees) {
+							pass.Reportf(n.OpPos, "floating-point division by unguarded value; check the divisor (or result) against NaN/Inf or an eps bound")
+						}
+					}
+				}
+			}
+		}
+		// Recurse generically, dropping the assignee context inside
+		// sub-expressions of calls/conditions (the direct RHS keeps it).
+		for _, child := range childNodes(n) {
+			visit(child, assignees)
+		}
+	}
+	for _, stmt := range fn.Body.List {
+		visit(stmt, nil)
+	}
+}
+
+// childNodes returns the direct AST children of n.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// mathCallee reports whether call is math.<Name>(...) and returns the
+// name.
+func mathCallee(info *types.Info, call *ast.CallExpr) (bool, string) {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math" {
+		return false, ""
+	}
+	return true, fn.Name()
+}
+
+// isGuardCall reports whether the call is one of the recognized guard
+// forms: math.IsNaN/IsInf/Abs/Max/Min, any function from the geom
+// package, or a method named IsFinite.
+func isGuardCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Name() == "IsFinite" {
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if pkg.Path() == "math" && guardMathFuncs[fn.Name()] {
+		return true
+	}
+	return pkg.Name() == "geom"
+}
+
+// containsComparison reports whether e contains an ordered or
+// (in)equality comparison.
+func containsComparison(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

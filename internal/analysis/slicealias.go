@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SliceAlias flags exported functions and methods of the public API
+// that store or return a caller-provided []float64 (or a named float
+// slice such as Point / geom.Vector, or a slice of those) without
+// copying it. A retained alias lets the caller mutate coordinates
+// after validation/normalization, corrupting every cached candidate
+// set under concurrent queries — the exact bug class reported by
+// other k-regret implementations.
+//
+// The analyzer runs a small intraprocedural taint analysis: the float
+// slice parameters are tainted; taint flows through conversions,
+// slicing, indexing, `append(tainted, …)`, local assignment and
+// range; calling any function or method on a tainted value (e.g.
+// `p.Clone()`) launders it, since callees in this codebase copy.
+// A violation is a tainted value that is returned, stored into a
+// composite literal, or assigned to anything other than a plain local
+// variable.
+//
+// Internal packages (import path containing "/internal/") are exempt:
+// they deliberately share immutable views for speed, and the API
+// boundary above them is where the copying contract lives.
+var SliceAlias = &Analyzer{
+	Name: "slicealias",
+	Doc:  "flag exported API functions that retain caller-provided float slices without copying",
+	Run:  runSliceAlias,
+}
+
+func runSliceAlias(pass *Pass) {
+	if strings.Contains(pass.Pkg.Path+"/", "/internal/") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			checkAliasing(pass, fn)
+		}
+	}
+}
+
+func checkAliasing(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	tainted := map[types.Object]bool{}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj != nil && isFloatSliceLike(obj.Type()) {
+					tainted[obj] = true
+				}
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+
+	// taintedExpr reports whether e may alias a tainted parameter's
+	// backing array.
+	var taintedExpr func(e ast.Expr) bool
+	taintedExpr = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return tainted[info.Uses[e]]
+		case *ast.ParenExpr:
+			return taintedExpr(e.X)
+		case *ast.CallExpr:
+			if isConversion(info, e) && len(e.Args) == 1 {
+				return taintedExpr(e.Args[0])
+			}
+			// append aliases its first argument when capacity allows.
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && info.Uses[id] != nil {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" && len(e.Args) > 0 {
+					return taintedExpr(e.Args[0])
+				}
+			}
+			// Other calls (p.Clone(), core.Select, make, copy helpers)
+			// return fresh storage by this codebase's convention.
+			return false
+		case *ast.IndexExpr:
+			// Element of a tainted [][]float64 is itself an alias.
+			if tv, ok := info.Types[e]; ok && !isFloatSliceLike(tv.Type) {
+				return false
+			}
+			return taintedExpr(e.X)
+		case *ast.SliceExpr:
+			return taintedExpr(e.X)
+		case *ast.StarExpr:
+			return taintedExpr(e.X)
+		case *ast.UnaryExpr:
+			return taintedExpr(e.X)
+		}
+		return false
+	}
+
+	isLocalVar := func(e ast.Expr) (types.Object, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj, true
+		}
+		if obj, ok := info.Uses[id].(*types.Var); ok {
+			// Package-level variables are escape targets, not locals.
+			if obj.Parent() == obj.Pkg().Scope() {
+				return nil, false
+			}
+			return obj, true
+		}
+		return nil, false
+	}
+
+	// Propagate taint through local assignments and ranges until the
+	// tainted set stops growing, then report violations in one final
+	// pass (so stores that happen textually before a later `x := p`
+	// are still caught).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					if rhs == nil || !taintedExpr(rhs) {
+						continue
+					}
+					if obj, ok := isLocalVar(lhs); ok && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && taintedExpr(n.X) {
+					if obj, ok := isLocalVar(n.Value); ok && isFloatSliceLike(obj.Type()) && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if taintedExpr(res) {
+					pass.Reportf(res.Pos(), "%s returns caller-provided float slice without copying; clone it at the API boundary", fn.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if rhs == nil || !taintedExpr(rhs) {
+					continue
+				}
+				if _, ok := isLocalVar(lhs); ok {
+					continue // handled by propagation
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				pass.Reportf(rhs.Pos(), "%s stores caller-provided float slice without copying; clone it at the API boundary", fn.Name.Name)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if taintedExpr(v) {
+					pass.Reportf(v.Pos(), "%s stores caller-provided float slice in composite literal without copying", fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,56 @@
+// Package errdropfix seeds errdrop violations for the analyzer
+// fixture tests: discarded error returns must be flagged, handled and
+// conventionally-exempt calls must stay clean.
+package errdropfix
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func two() (int, error) { return 0, errors.New("boom") }
+
+func dropBare() {
+	fail() // want: errdrop
+}
+
+func dropBlank() {
+	_ = fail() // want: errdrop
+}
+
+func dropDefer() {
+	defer fail() // want: errdrop
+}
+
+func dropTuple() {
+	_, _ = two() // want: errdrop
+}
+
+// handled propagates the error: clean.
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// partiallyUsed keeps the value and drops nothing: clean (the `n, _`
+// form signals a deliberate choice, unlike all-blank assignments).
+func partiallyUsed() int {
+	n, _ := two()
+	return n
+}
+
+// exemptWrites are best-effort prints whose errors are conventionally
+// ignored: clean.
+func exemptWrites(sb *strings.Builder) {
+	fmt.Println("ok")
+	fmt.Fprintf(os.Stdout, "ok\n")
+	fmt.Fprintln(os.Stderr, "ok")
+	fmt.Fprintf(sb, "ok\n")
+	sb.WriteString("x")
+}

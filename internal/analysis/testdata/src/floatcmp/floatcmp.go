@@ -1,0 +1,50 @@
+// Package floatcmpfix seeds floatcmp violations for the analyzer
+// fixture tests. Lines carrying a trailing "want" annotation must be
+// flagged; every other line must stay clean.
+package floatcmpfix
+
+func exactEqual(a, b float64) bool {
+	return a == b // want: floatcmp
+}
+
+func notEqualZero(x float64) bool {
+	return x != 0 // want: floatcmp
+}
+
+func float32Too(a float32, b float64) bool {
+	return float64(a) == b // want: floatcmp
+}
+
+func switchOnFloat(x float64) int {
+	switch x { // want: floatcmp
+	case 0:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Integer comparison is fine.
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+// Ordered float comparisons are deliberately not flagged: sort
+// comparators must stay exact to remain transitive.
+func orderedIsFine(a, b float64) bool {
+	return a < b || a > b
+}
+
+// Both operands constant: folded at compile time, exact by definition.
+func constFolded() bool {
+	const a, b = 1.5, 2.5
+	return a == b
+}
+
+// A reviewed directive must suppress the finding on the next line —
+// if suppression regresses, this line produces an unexpected finding
+// and the fixture test fails.
+func allowedByDirective(x float64) bool {
+	//kregret:allow floatcmp: fixture: directive suppression must keep working
+	return x == 1
+}

@@ -1,0 +1,60 @@
+// Package naninffix seeds naninf violations for the analyzer fixture
+// tests: unguarded math calls and float divisions must be flagged,
+// guarded ones must stay clean.
+package naninffix
+
+import "math"
+
+// BadSqrt never checks its argument or result.
+func BadSqrt(x float64) float64 {
+	return math.Sqrt(x) // want: naninf
+}
+
+// BadLogChain feeds a risky result onward without a guard.
+func BadLogChain(x float64) float64 {
+	v := math.Log(x) // want: naninf
+	return v + 1
+}
+
+// BadDiv divides by an unchecked denominator.
+func BadDiv(a, b float64) float64 {
+	return a / b // want: naninf
+}
+
+// GoodSqrt guards the argument with an ordered comparison.
+func GoodSqrt(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// GoodLog guards the result instead of the argument.
+func GoodLog(x float64) float64 {
+	v := math.Log(x)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// GoodDiv checks the denominator before dividing.
+func GoodDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+// ConstArgs is exact at compile time: clean.
+func ConstArgs() float64 {
+	return math.Sqrt(2)
+}
+
+// IntDiv is integer division — truncation, never NaN: clean.
+func IntDiv(a, b int) int {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

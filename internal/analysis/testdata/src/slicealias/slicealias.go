@@ -1,0 +1,72 @@
+// Package slicealiasfix seeds slicealias violations for the analyzer
+// fixture tests. The fixture is loaded under a non-internal import
+// path so the analyzer's internal-package exemption does not apply.
+package slicealiasfix
+
+// Vec is a named float slice, the fixture analogue of geom.Vector.
+type Vec []float64
+
+// Series is a container an exported function could leak an alias into.
+type Series struct {
+	Data []float64
+}
+
+var global []float64
+
+// Return hands the caller's backing array straight back.
+func Return(p []float64) []float64 {
+	return p // want: slicealias
+}
+
+// StoreGlobal escapes the parameter into package state.
+func StoreGlobal(p Vec) {
+	global = p // want: slicealias
+}
+
+// WrapLiteral retains the alias inside a struct literal.
+func WrapLiteral(p []float64) Series {
+	return Series{Data: p} // want: slicealias
+}
+
+// FirstRow leaks a row of the caller's matrix through a range value.
+func FirstRow(rows [][]float64) []float64 {
+	for _, r := range rows {
+		return r // want: slicealias
+	}
+	return nil
+}
+
+// ViaLocal reaches the return through a chain of local assignments.
+func ViaLocal(p []float64) []float64 {
+	q := p
+	r := q[1:]
+	return r // want: slicealias
+}
+
+// Cloned copies before returning: clean.
+func Cloned(p []float64) []float64 {
+	q := append([]float64(nil), p...)
+	return q
+}
+
+// Laundered trusts callees to copy (the codebase's Clone convention):
+// clean.
+func Laundered(p Vec) Vec {
+	return clone(p)
+}
+
+func clone(p Vec) Vec {
+	q := make(Vec, len(p))
+	copy(q, p)
+	return q
+}
+
+// unexportedAlias is not part of the public API surface: clean.
+func unexportedAlias(p []float64) []float64 {
+	return p
+}
+
+// Scalar parameters carry no aliasing hazard: clean.
+func Scalar(x float64) float64 {
+	return x
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/assert"
 	"repro/internal/geom"
 	"repro/internal/happy"
 	"repro/internal/lp"
@@ -103,6 +104,12 @@ func coverable(pts []geom.Vector, cols []int, p geom.Vector, d int) (bool, error
 	}
 	switch sol.Status {
 	case lp.Optimal:
+		if assert.Enabled {
+			// The objective Σ y_q over y ≥ 0 can never be negative; a
+			// negative optimum means the tableau lost feasibility.
+			assert.That(sol.Objective >= -geom.Eps,
+				"hull covering LP returned negative mass %g", sol.Objective)
+		}
 		return sol.Objective <= 1+1e-7, nil
 	case lp.Infeasible:
 		// Cannot cover p at all (it has the strict per-dimension

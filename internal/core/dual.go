@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/dd"
 	"repro/internal/geom"
@@ -61,6 +62,12 @@ func (h *dualHull) supportOf(q geom.Vector) (float64, *dd.Vertex) {
 // criticalRatio returns cr(q, S) per Definition 3 of the paper.
 func (h *dualHull) criticalRatio(q geom.Vector) float64 {
 	s, _ := h.poly.MaxDot(q)
+	if s <= geom.Eps {
+		// Q(S) contains a full-dimensional box, so the support of any
+		// strictly positive q is strictly positive; a vanishing value
+		// means q ≈ 0 and the ratio diverges (infinitely deep inside).
+		return math.Inf(1)
+	}
 	return 1 / s
 }
 

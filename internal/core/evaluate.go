@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/assert"
 	"repro/internal/geom"
 )
 
@@ -59,7 +60,11 @@ func MRRGeometric(pts []geom.Vector, sel []int) (float64, error) {
 	if maxSupport <= 1 {
 		return 0, nil
 	}
-	return 1 - 1/maxSupport, nil
+	mrr := 1 - 1/maxSupport
+	if assert.Enabled {
+		assert.UnitRange("MRRGeometric", mrr, geom.Eps)
+	}
+	return mrr, nil
 }
 
 // MRRByLP computes the same quantity with one linear program per

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/assert"
 	"repro/internal/geom"
 )
 
@@ -57,12 +58,25 @@ func FacesOf(pts []geom.Vector, sel []int) ([]Face, error) {
 	sort.Slice(faces, func(a, b int) bool {
 		na, nb := faces[a].Normal, faces[b].Normal
 		for j := range na {
-			if na[j] != nb[j] {
-				return na[j] < nb[j]
+			// Exact ordered comparisons keep the order transitive;
+			// an epsilon here would make sorting unstable.
+			if na[j] < nb[j] {
+				return true
+			}
+			if na[j] > nb[j] {
+				return false
 			}
 		}
 		return false
 	})
+	if assert.Enabled {
+		normals := make([]geom.Vector, len(faces))
+		offsets := make([]float64, len(faces))
+		for i, f := range faces {
+			normals[i], offsets[i] = f.Normal, f.Offset
+		}
+		assert.DownwardClosed(normals, offsets, selPts, geom.LooseEps)
+	}
 	return faces, nil
 }
 
@@ -96,5 +110,9 @@ func CriticalRatioOf(pts []geom.Vector, sel []int, q geom.Vector) (float64, erro
 			return 0, err
 		}
 	}
-	return hull.criticalRatio(q), nil
+	cr := hull.criticalRatio(q)
+	if assert.Enabled {
+		assert.CriticalRatio(cr, geom.Eps)
+	}
+	return cr, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"repro/internal/assert"
 	"repro/internal/geom"
 )
 
@@ -161,6 +162,17 @@ func geoGreedyTrace(pts []geom.Vector, k int, onSelect func(int, float64)) (*Res
 			return nil, err
 		}
 		mrr = exact
+	}
+	if assert.Enabled {
+		// Lemma 1: the maximum regret ratio of any non-empty
+		// selection lies in [0, 1].
+		assert.UnitRange("GeoGreedy mrr", mrr, geom.LooseEps)
+		for i := range states {
+			if !states[i].taken {
+				assert.That(!math.IsNaN(states[i].bestVal),
+					"cached support of candidate %d is NaN", i)
+			}
+		}
 	}
 	return &Result{
 		Indices:     selected,

@@ -60,12 +60,12 @@ func ReadCSV(r io.Reader) ([]geom.Vector, error) {
 }
 
 // ReadCSVFile reads points from a CSV file on disk.
-func ReadCSVFile(path string) ([]geom.Vector, error) {
+func ReadCSVFile(path string) (pts []geom.Vector, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { err = errors.Join(err, f.Close()) }()
 	return ReadCSV(f)
 }
 
@@ -102,8 +102,7 @@ func WriteCSVFile(path string, pts []geom.Vector, header []string) error {
 		return err
 	}
 	if err := WriteCSV(f, pts, header); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

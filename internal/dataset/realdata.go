@@ -203,6 +203,9 @@ func genStarPlateReal(n, d int, seed int64, t realTuning) []geom.Vector {
 					norm += v[j] * v[j]
 				}
 				norm = math.Sqrt(norm)
+				if norm <= 0 {
+					norm = 1 // unreachable: every addend is ≥ 0.08²
+				}
 				for j := range v {
 					v[j] /= norm
 				}
@@ -251,6 +254,9 @@ func genStarPlateReal(n, d int, seed int64, t realTuning) []geom.Vector {
 				norm += p[j] * p[j]
 			}
 			norm = math.Sqrt(norm)
+			if norm <= 0 {
+				norm = 1 // unreachable: every addend is ≥ 0.08²
+			}
 			r := 1.0
 			if i >= extremeN {
 				r = 1 - t.jitter*(0.3+0.7*rng.Float64())

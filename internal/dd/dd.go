@@ -297,7 +297,11 @@ func (p *Polytope) AddHalfspace(normal geom.Vector, offset float64) (AddResult, 
 			}
 			uVal := keptVals[ki]
 			// Crossing point: x = u + t(w−u), t = −uVal/(wVal−uVal).
-			t := -uVal / (wVal - uVal)
+			den := wVal - uVal
+			if den <= 0 {
+				continue // numerically impossible: wVal > 0 > uVal
+			}
+			t := -uVal / den
 			pt := make(geom.Vector, p.dim)
 			for j := range pt {
 				pt[j] = u.Point[j] + t*(w.Point[j]-u.Point[j])

@@ -56,6 +56,7 @@ func (v Vector) Norm() float64 {
 	for _, x := range v {
 		s += x * x
 	}
+	//kregret:allow naninf: s is a sum of squares, never negative
 	return math.Sqrt(s)
 }
 

@@ -311,8 +311,13 @@ func skylineFilter(pts []geom.Vector) []int {
 		sums[i] = p.Sum()
 	}
 	sort.Slice(order, func(a, b int) bool {
-		if sums[order[a]] != sums[order[b]] {
-			return sums[order[a]] > sums[order[b]]
+		// Exact ordered comparisons keep the order transitive.
+		sa, sb := sums[order[a]], sums[order[b]]
+		if sa > sb {
+			return true
+		}
+		if sa < sb {
+			return false
 		}
 		return order[a] < order[b]
 	})

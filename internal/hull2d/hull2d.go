@@ -40,8 +40,12 @@ func cross(a, b, c Point) float64 {
 func Hull(pts []Point) []Point {
 	ps := append([]Point(nil), pts...)
 	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].X != ps[j].X {
-			return ps[i].X < ps[j].X
+		// Exact ordered comparisons keep the order transitive.
+		if ps[i].X < ps[j].X {
+			return true
+		}
+		if ps[i].X > ps[j].X {
+			return false
 		}
 		return ps[i].Y < ps[j].Y
 	})

@@ -206,8 +206,12 @@ func (s *Session) Show(size int) ([]int, error) {
 		ranked = append(ranked, scored{ci, s.spread(s.pts[ci])})
 	}
 	sort.Slice(ranked, func(a, b int) bool {
-		if ranked[a].spread != ranked[b].spread {
-			return ranked[a].spread > ranked[b].spread
+		// Exact ordered comparisons keep the order transitive.
+		if ranked[a].spread > ranked[b].spread {
+			return true
+		}
+		if ranked[a].spread < ranked[b].spread {
+			return false
 		}
 		return ranked[a].idx < ranked[b].idx
 	})

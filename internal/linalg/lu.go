@@ -10,7 +10,7 @@ import (
 type LU struct {
 	lu    *Matrix
 	pivot []int
-	sign  float64 // +1 or −1 from row swaps; 0 if singular
+	sign  int // +1 or −1 from row swaps; 0 if singular
 	n     int
 }
 
@@ -28,7 +28,7 @@ func Factor(a *Matrix) (*LU, error) {
 	n := a.Rows
 	lu := a.Clone()
 	pivot := make([]int, n)
-	sign := 1.0
+	sign := 1
 	for i := range pivot {
 		pivot[i] = i
 	}
@@ -52,9 +52,6 @@ func Factor(a *Matrix) (*LU, error) {
 		for r := col + 1; r < n; r++ {
 			f := lu.At(r, col) * inv
 			lu.Set(r, col, f)
-			if f == 0 {
-				continue
-			}
 			for c := col + 1; c < n; c++ {
 				lu.Set(r, c, lu.At(r, c)-f*lu.At(col, c))
 			}
@@ -75,7 +72,7 @@ func (f *LU) Det() float64 {
 	if f.sign == 0 {
 		return 0
 	}
-	d := f.sign
+	d := float64(f.sign)
 	for i := 0; i < f.n; i++ {
 		d *= f.lu.At(i, i)
 	}
@@ -187,9 +184,6 @@ func Rank(a *Matrix, tol float64) int {
 				continue
 			}
 			f := m.At(r, col) * inv
-			if f == 0 {
-				continue
-			}
 			for c := col; c < cols; c++ {
 				m.Set(r, c, m.At(r, c)-f*m.At(rank, c))
 			}

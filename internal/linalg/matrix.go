@@ -86,9 +86,6 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 		mi := m.Row(i)
 		oi := out.Row(i)
 		for k, mik := range mi {
-			if mik == 0 {
-				continue
-			}
 			bk := b.Row(k)
 			for j := range oi {
 				oi[j] += mik * bk[j]

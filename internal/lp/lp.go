@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/assert"
 )
 
 // Relation is the sense of a linear constraint.
@@ -151,6 +153,9 @@ func Solve(p *Problem) (*Solution, error) {
 		if t.infeasible {
 			return &Solution{Status: Infeasible}, nil
 		}
+		if assert.Enabled {
+			assert.Feasible("lp phase-1 basis", t.basicValues(), feasEps)
+		}
 	}
 	status, err := t.phase2()
 	if err != nil {
@@ -158,6 +163,9 @@ func Solve(p *Problem) (*Solution, error) {
 	}
 	if status != Optimal {
 		return &Solution{Status: status}, nil
+	}
+	if assert.Enabled {
+		assert.Feasible("lp phase-2 basis", t.basicValues(), feasEps)
 	}
 	x := t.extract()
 	obj := dot(p.Objective, x)
@@ -286,14 +294,15 @@ func (t *tableau) setObjectiveRow(c []float64) {
 		obj[j] = -v
 	}
 	for i, b := range t.basis {
-		if coef := obj[b]; coef != 0 {
-			addScaled(obj, t.rows[i], -coef)
-		}
+		addScaled(obj, t.rows[i], -obj[b])
 	}
 }
 
 // addScaled does dst += f·src.
 func addScaled(dst, src []float64, f float64) {
+	// Most factors in a sparse pivot are exactly 0 and adding 0·src is
+	// a bitwise no-op, so the exact-zero fast path is sound.
+	//kregret:allow floatcmp: exact-zero fast path is a no-op
 	if f == 0 {
 		return
 	}
@@ -435,6 +444,17 @@ func (t *tableau) pivot(leave, enter int) {
 		t.rows[i][enter] = 0 // exact
 	}
 	t.basis[leave] = enter
+}
+
+// basicValues returns the current values of the basic variables (the
+// RHS column). Simplex pivoting must keep them all non-negative; the
+// kregretdebug feasibility assertion checks exactly that.
+func (t *tableau) basicValues() []float64 {
+	vals := make([]float64, t.m)
+	for i := range vals {
+		vals[i] = t.rows[i][t.width]
+	}
+	return vals
 }
 
 // extract reads the original variables from the final tableau.

@@ -137,9 +137,13 @@ func (t *Tree) strPack(idx []int, dim int) []*Node {
 	leaves := (len(idx) + t.fanout - 1) / t.fanout
 	slabs := intPow(leaves, d-dim)
 	sort.Slice(idx, func(a, b int) bool {
+		// Exact ordered comparisons keep the order transitive.
 		pa, pb := t.pts[idx[a]][dim], t.pts[idx[b]][dim]
-		if pa != pb {
-			return pa < pb
+		if pa < pb {
+			return true
+		}
+		if pa > pb {
+			return false
 		}
 		return idx[a] < idx[b]
 	})

@@ -106,8 +106,12 @@ type entryHeap []entry
 
 func (h entryHeap) Len() int { return len(h) }
 func (h entryHeap) Less(a, b int) bool {
-	if h[a].key != h[b].key {
-		return h[a].key > h[b].key
+	// Exact ordered comparisons keep the order transitive.
+	if h[a].key > h[b].key {
+		return true
+	}
+	if h[a].key < h[b].key {
+		return false
 	}
 	// Ties: points pop before nodes so equal-sum duplicates are kept
 	// deterministically; among points, lower index first.

@@ -40,9 +40,13 @@ func dcParallel(pts []geom.Vector, idx []int, depth int) []int {
 	}
 	sorted := append([]int(nil), idx...)
 	sort.Slice(sorted, func(a, b int) bool {
+		// Exact ordered comparisons keep the order transitive.
 		pa, pb := pts[sorted[a]][0], pts[sorted[b]][0]
-		if pa != pb {
-			return pa < pb
+		if pa < pb {
+			return true
+		}
+		if pa > pb {
+			return false
 		}
 		return sorted[a] < sorted[b]
 	})

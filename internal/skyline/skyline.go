@@ -138,8 +138,13 @@ func sfs(pts []geom.Vector) []int {
 		sums[i] = p.Sum()
 	}
 	sort.Slice(order, func(a, b int) bool {
-		if sums[order[a]] != sums[order[b]] {
-			return sums[order[a]] > sums[order[b]]
+		// Exact ordered comparisons keep the order transitive.
+		sa, sb := sums[order[a]], sums[order[b]]
+		if sa > sb {
+			return true
+		}
+		if sa < sb {
+			return false
 		}
 		return order[a] < order[b]
 	})
@@ -181,9 +186,13 @@ func dcRec(pts []geom.Vector, idx []int) []int {
 	// deterministic balanced partition).
 	sorted := append([]int(nil), idx...)
 	sort.Slice(sorted, func(a, b int) bool {
+		// Exact ordered comparisons keep the order transitive.
 		pa, pb := pts[sorted[a]][0], pts[sorted[b]][0]
-		if pa != pb {
-			return pa < pb
+		if pa < pb {
+			return true
+		}
+		if pa > pb {
+			return false
 		}
 		return sorted[a] < sorted[b]
 	})

@@ -179,11 +179,14 @@ func clipLineToBox(h geom.Hyperplane, lim float64) []geom.Vector {
 		out = append(out, geom.Vector{x, y})
 	}
 	a, bb, c := h.Normal[0], h.Normal[1], h.Offset
-	if bb != 0 {
+	// Near-zero coefficients produce intercepts far outside the
+	// viewport that push() would reject anyway; the eps guard keeps
+	// the divisions finite.
+	if !geom.Zero(bb, geom.Eps) {
 		push(0, c/bb)
 		push(lim, (c-a*lim)/bb)
 	}
-	if a != 0 {
+	if !geom.Zero(a, geom.Eps) {
 		push(c/a, 0)
 		push((c-bb*lim)/a, lim)
 	}
