@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet kregret-vet test test-race test-debug check
+.PHONY: build vet kregret-vet test test-race test-debug test-fault fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -27,4 +27,17 @@ test-race:
 test-debug:
 	$(GO) test -tags kregretdebug ./...
 
-check: build vet kregret-vet test-race test-debug
+# Same tests with the fault-injection harness compiled in; includes
+# the fallback_test.go suite that forces each degradation edge
+# (GeoGreedy → perturbed retry → Greedy → Cube).
+test-fault:
+	$(GO) test -tags kregretfault ./...
+
+# Short native-fuzzing pass over the public constructors and query
+# path: degenerate datasets must produce an error or a valid Answer,
+# never a panic.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzNewDataset -fuzztime=10s .
+	$(GO) test -run=^$$ -fuzz=FuzzQuery -fuzztime=10s .
+
+check: build vet kregret-vet test-race test-debug test-fault

@@ -7,6 +7,7 @@
 //	kregret -k 10 -in cars.csv -algo greedy     # the LP baseline
 //	kregret -k 10 -in cars.csv -cand skyline    # prior work's candidates
 //	kregret -in cars.csv -stats                 # candidate-set statistics
+//	kregret -k 10 -in cars.csv -timeout 30s     # bound the query wall-clock
 //
 // Input: one tuple per CSV record, numeric fields only, optional
 // header row; every attribute is treated as larger-is-better (negate
@@ -16,10 +17,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	kregret "repro"
 	"repro/internal/dataset"
@@ -27,11 +30,12 @@ import (
 
 func main() {
 	var (
-		in    = flag.String("in", "", "input CSV file (required)")
-		k     = flag.Int("k", 10, "maximum number of tuples to return")
-		algo  = flag.String("algo", "geogreedy", "algorithm: geogreedy or greedy")
-		cand  = flag.String("cand", "happy", "candidate set: happy, skyline or all")
-		stats = flag.Bool("stats", false, "print candidate-set statistics instead of answering a query")
+		in      = flag.String("in", "", "input CSV file (required)")
+		k       = flag.Int("k", 10, "maximum number of tuples to return")
+		algo    = flag.String("algo", "geogreedy", "algorithm: geogreedy or greedy")
+		cand    = flag.String("cand", "happy", "candidate set: happy, skyline or all")
+		stats   = flag.Bool("stats", false, "print candidate-set statistics instead of answering a query")
+		timeout = flag.Duration("timeout", 0, "abort the query after this long (e.g. 30s; 0 = no limit)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -39,13 +43,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *k, *algo, *cand, *stats); err != nil {
+	if err := run(*in, *k, *algo, *cand, *stats, *timeout); err != nil {
 		fmt.Fprintf(os.Stderr, "kregret: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, k int, algo, cand string, stats bool) error {
+func run(in string, k int, algo, cand string, stats bool, timeout time.Duration) error {
 	raw, err := dataset.ReadCSVFile(in)
 	if err != nil {
 		return err
@@ -100,12 +104,22 @@ func run(in string, k int, algo, cand string, stats bool) error {
 		return fmt.Errorf("unknown candidate set %q", cand)
 	}
 
-	ans, err := ds.Query(k, opts...)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	ans, err := ds.QueryContext(ctx, k, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("selected %d of %d tuples, maximum regret ratio %.4f\n",
 		len(ans.Indices), ds.Len(), ans.MRR)
+	if ans.Degraded {
+		fmt.Printf("note: answer is degraded (%s answered after a numerical failure: %s)\n",
+			ans.Algorithm, ans.FallbackReason)
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "row\tnormalized values")
 	for _, idx := range ans.Indices {

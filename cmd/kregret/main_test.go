@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 )
@@ -51,13 +54,13 @@ func capture(t *testing.T, f func() error) string {
 func TestRunQuery(t *testing.T) {
 	path := writeTestCSV(t)
 	for _, algo := range []string{"geogreedy", "greedy"} {
-		out := capture(t, func() error { return run(path, 5, algo, "happy", false) })
+		out := capture(t, func() error { return run(path, 5, algo, "happy", false, 0) })
 		if !strings.Contains(out, "maximum regret ratio") {
 			t.Fatalf("%s: missing regret line in %q", algo, out)
 		}
 	}
 	for _, cand := range []string{"skyline", "all"} {
-		out := capture(t, func() error { return run(path, 5, "geogreedy", cand, false) })
+		out := capture(t, func() error { return run(path, 5, "geogreedy", cand, false, 0) })
 		if !strings.Contains(out, "selected") {
 			t.Fatalf("%s: missing selection in %q", cand, out)
 		}
@@ -66,7 +69,7 @@ func TestRunQuery(t *testing.T) {
 
 func TestRunStats(t *testing.T) {
 	path := writeTestCSV(t)
-	out := capture(t, func() error { return run(path, 5, "geogreedy", "happy", true) })
+	out := capture(t, func() error { return run(path, 5, "geogreedy", "happy", true, 0) })
 	for _, want := range []string{"skyline points:", "happy points:", "hull points:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stats output missing %q: %q", want, out)
@@ -76,13 +79,18 @@ func TestRunStats(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeTestCSV(t)
-	if err := run(path+".missing", 5, "geogreedy", "happy", false); err == nil {
+	if err := run(path+".missing", 5, "geogreedy", "happy", false, 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run(path, 5, "bogus", "happy", false); err == nil {
+	if err := run(path, 5, "bogus", "happy", false, 0); err == nil {
 		t.Fatal("bogus algorithm accepted")
 	}
-	if err := run(path, 5, "geogreedy", "bogus", false); err == nil {
+	if err := run(path, 5, "geogreedy", "bogus", false, 0); err == nil {
 		t.Fatal("bogus candidate set accepted")
+	}
+	// A timeout too short for any work must surface the deadline as an
+	// error, not an answer.
+	if err := run(path, 5, "geogreedy", "happy", false, time.Nanosecond); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("1ns timeout: want context.DeadlineExceeded, got %v", err)
 	}
 }

@@ -1,0 +1,146 @@
+package kregret
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodePoints turns fuzzer bytes into a point set. Two decodings
+// share the corpus: mode 0 maps byte pairs into (0, 1] — always a
+// structurally valid dataset, so the solvers themselves get fuzzed —
+// while mode 1 reinterprets raw float64 bits, feeding NaN, ±Inf,
+// subnormals and huge spreads straight into validation.
+func decodePoints(data []byte) []Point {
+	if len(data) < 4 {
+		return nil
+	}
+	d := 1 + int(data[0])%5
+	mode := data[1] % 2
+	body := data[2:]
+	var coords []float64
+	if mode == 0 {
+		for i := 0; i+1 < len(body); i += 2 {
+			u := binary.LittleEndian.Uint16(body[i:])
+			coords = append(coords, float64(u+1)/65536)
+		}
+	} else {
+		for i := 0; i+7 < len(body); i += 8 {
+			coords = append(coords, math.Float64frombits(binary.LittleEndian.Uint64(body[i:])))
+		}
+	}
+	n := len(coords) / d
+	if n == 0 {
+		return nil
+	}
+	if n > 200 {
+		n = 200 // bound per-input work
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point(coords[i*d : (i+1)*d])
+	}
+	return pts
+}
+
+// seedCorpus holds the degenerate shapes the robustness layer must
+// survive: duplicates, collinear runs, near-zero coordinates, huge
+// spreads, single points, and raw-bits garbage.
+func seedCorpus(f *testing.F) {
+	duplicate := []byte{1, 0}
+	for i := 0; i < 8; i++ {
+		duplicate = append(duplicate, 0x10, 0x20, 0x10, 0x20) // same 2-d point repeated
+	}
+	f.Add(duplicate)
+	collinear := []byte{1, 0}
+	for i := 1; i <= 8; i++ {
+		collinear = append(collinear, byte(i), 0, byte(i), 0) // points on the diagonal
+	}
+	f.Add(collinear)
+	f.Add([]byte{2, 0, 1, 0, 1, 0, 1, 0, 0xff, 0xff, 0xff, 0xff, 0x01, 0x00}) // near-zero next to near-one
+	f.Add([]byte{0, 0, 5, 5})                                                 // 1-d minimal
+	f.Add([]byte{4, 0, 1, 2, 3})                                              // too short for one 5-d point
+	raw := []byte{3, 1}
+	for _, v := range []float64{math.NaN(), math.Inf(1), -1, 1e300, 5e-324, 0.5, 0.25, 1} {
+		raw = binary.LittleEndian.AppendUint64(raw, math.Float64bits(v))
+	}
+	f.Add(raw)
+}
+
+// FuzzNewDataset asserts the constructor either rejects its input
+// with an error or produces a dataset whose every accessor works — it
+// must never panic and never accept non-finite coordinates.
+func FuzzNewDataset(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := decodePoints(data)
+		ds, err := NewDataset(pts)
+		if err != nil {
+			return
+		}
+		for i := 0; i < ds.Len(); i++ {
+			p := ds.Point(i)
+			for j, x := range p {
+				if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
+					t.Fatalf("accepted point %d has invalid coordinate %d: %v", i, j, x)
+				}
+			}
+		}
+		sky, err := ds.Skyline()
+		if err != nil {
+			t.Fatalf("Skyline on valid dataset: %v", err)
+		}
+		happy, err := ds.HappyPoints()
+		if err != nil {
+			t.Fatalf("HappyPoints on valid dataset: %v", err)
+		}
+		if len(happy) > len(sky) {
+			t.Fatalf("%d happy points but only %d skyline points", len(happy), len(sky))
+		}
+	})
+}
+
+// FuzzQuery runs the full pipeline over fuzzer-shaped datasets with a
+// fuzzer-chosen k and algorithm: the only acceptable outcomes are an
+// error or a valid Answer (indices in range and unique, MRR in
+// [0, 1]); any panic escapes the boundary and fails the fuzz run.
+func FuzzQuery(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := decodePoints(data)
+		ds, err := NewDataset(pts)
+		if err != nil {
+			return
+		}
+		k := 1 + int(data[0]>>4)%6
+		alg := Algorithm(int(data[1]>>1) % 3)
+		ans, err := ds.Query(k, WithAlgorithm(alg))
+		if err != nil {
+			return
+		}
+		if len(ans.Indices) == 0 || len(ans.Indices) > k {
+			t.Fatalf("answer size %d for k=%d", len(ans.Indices), k)
+		}
+		seen := map[int]bool{}
+		for _, i := range ans.Indices {
+			if i < 0 || i >= ds.Len() {
+				t.Fatalf("index %d out of range [0, %d)", i, ds.Len())
+			}
+			if seen[i] {
+				t.Fatalf("duplicate index %d in answer", i)
+			}
+			seen[i] = true
+		}
+		if math.IsNaN(ans.MRR) || ans.MRR < 0 || ans.MRR > 1+1e-9 {
+			t.Fatalf("MRR %v outside [0, 1]", ans.MRR)
+		}
+		// The answer must survive independent re-evaluation.
+		mrr, err := ds.EvaluateMRR(ans.Indices)
+		if err != nil {
+			t.Fatalf("EvaluateMRR on query answer: %v", err)
+		}
+		if math.IsNaN(mrr) || mrr < 0 || mrr > 1+1e-9 {
+			t.Fatalf("re-evaluated MRR %v outside [0, 1]", mrr)
+		}
+	})
+}

@@ -54,3 +54,26 @@ func exemptWrites(sb *strings.Builder) {
 	fmt.Fprintf(sb, "ok\n")
 	sb.WriteString("x")
 }
+
+// fallbackChain mirrors the degradation path of the public query
+// layer: per-stage errors are accumulated into a slice and joined,
+// and the whole batch is deliberately discarded when a later stage
+// succeeds (only a summary string survives). Every error flows into
+// a real variable, so nothing here is a drop: clean.
+func fallbackChain() (string, error) {
+	var failures []error
+	for i := 0; i < 3; i++ {
+		err := fail()
+		if err == nil {
+			return fmt.Sprintf("recovered after %v", errors.Join(failures...)), nil
+		}
+		failures = append(failures, err)
+	}
+	return "", errors.Join(failures...)
+}
+
+// joinDropped still counts: errors.Join returns an error like any
+// other call.
+func joinDropped(a, b error) {
+	errors.Join(a, b) // want: errdrop
+}

@@ -19,10 +19,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/dd"
 	"repro/internal/geom"
+	"repro/internal/lp"
 )
 
 // Input validation errors.
@@ -32,6 +35,31 @@ var (
 	ErrBadK      = errors.New("core: k must be at least 1")
 	ErrBadSubset = errors.New("core: selection index out of range")
 )
+
+// ErrDegenerate marks a numerical failure of the geometry machinery
+// mid-run — a NaN critical ratio, a support cache gone non-finite —
+// as opposed to invalid input. Callers (package kregret) treat it,
+// together with dd degeneracy and LP iteration caps, as retriable via
+// the degradation chain.
+var ErrDegenerate = errors.New("core: numerical degeneracy")
+
+// IsNumerical reports whether err is a numerical failure of the
+// solvers — GeoGreedy degeneracy, a dd polytope collapsing to empty,
+// or the simplex iteration cap — rather than invalid input or
+// cancellation. These are exactly the failures for which retrying
+// with perturbed data or a more robust (if slower or weaker)
+// algorithm can still produce an answer.
+func IsNumerical(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, ErrDegenerate) ||
+		errors.Is(err, dd.ErrEmpty) ||
+		errors.Is(err, lp.ErrIterationCap)
+}
 
 // Result is the outcome of a k-regret algorithm.
 type Result struct {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -211,14 +212,14 @@ func TestDualSupportMatchesLP(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, p := range selPts {
-			if _, err := hull.insert(p); err != nil {
+			if _, err := hull.insert(context.Background(), p); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for probe := 0; probe < 8; probe++ {
 			q := pts[rng.Intn(n)]
 			geo, _ := hull.supportOf(q)
-			viaLP, err := supportByLP(pts, sel, q)
+			viaLP, err := supportByLP(context.Background(), pts, sel, q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -305,7 +306,7 @@ func TestSelectedPointsHaveUnitCriticalRatio(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range selPts {
-		if _, err := hull.insert(p); err != nil {
+		if _, err := hull.insert(context.Background(), p); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -25,6 +26,14 @@ import (
 // data but is essentially free to compute; it exists here for
 // completeness of the baseline family and as a sanity bound in tests.
 func Cube(pts []geom.Vector, k int) (*Result, error) {
+	return CubeCtx(context.Background(), pts, k)
+}
+
+// CubeCtx is Cube with cooperative cancellation. Cube's own selection
+// pass is linear and essentially free; the context mainly bounds the
+// final exact regret evaluation, which runs on the same dual-hull
+// machinery as GeoGreedy.
+func CubeCtx(ctx context.Context, pts []geom.Vector, k int) (*Result, error) {
 	d, err := validatePoints(pts)
 	if err != nil {
 		return nil, err
@@ -43,7 +52,7 @@ func Cube(pts []geom.Vector, k int) (*Result, error) {
 				best = i
 			}
 		}
-		mrr, err := MRRGeometric(pts, []int{best})
+		mrr, err := MRRGeometricCtx(ctx, pts, []int{best})
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +66,7 @@ func Cube(pts []geom.Vector, k int) (*Result, error) {
 		if len(sel) > k {
 			sel = sel[:k]
 		}
-		mrr, err := MRRGeometric(pts, sel)
+		mrr, err := MRRGeometricCtx(ctx, pts, sel)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +127,7 @@ func Cube(pts []geom.Vector, k int) (*Result, error) {
 	if len(sel) > k {
 		sel = sel[:k]
 	}
-	mrr, err := MRRGeometric(pts, sel)
+	mrr, err := MRRGeometricCtx(ctx, pts, sel)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,9 +45,9 @@ func newDualHull(maxs []float64) (*dualHull, error) {
 }
 
 // insert adds point p to the selection set S, i.e. halfspace ω·p ≤ 1
-// to Q(S).
-func (h *dualHull) insert(p geom.Vector) (dd.AddResult, error) {
-	res, err := h.poly.AddHalfspace(p, 1)
+// to Q(S). The context bounds the double-description update.
+func (h *dualHull) insert(ctx context.Context, p geom.Vector) (dd.AddResult, error) {
+	res, err := h.poly.AddHalfspaceCtx(ctx, p, 1)
 	if err != nil {
 		return res, fmt.Errorf("core: inserting point into dual hull: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -32,6 +33,14 @@ func checkSelection(pts []geom.Vector, sel []int) error {
 // hull of S. This is the reference evaluation used by all experiment
 // harnesses.
 func MRRGeometric(pts []geom.Vector, sel []int) (float64, error) {
+	return MRRGeometricCtx(context.Background(), pts, sel)
+}
+
+// MRRGeometricCtx is MRRGeometric with cooperative cancellation: the
+// context is checked inside every dual-hull insertion and once per
+// support-scan batch. The returned error wraps ctx.Err() when
+// canceled.
+func MRRGeometricCtx(ctx context.Context, pts []geom.Vector, sel []int) (float64, error) {
 	if _, err := validatePoints(pts); err != nil {
 		return 0, err
 	}
@@ -47,12 +56,17 @@ func MRRGeometric(pts []geom.Vector, sel []int) (float64, error) {
 		return 0, err
 	}
 	for _, p := range selPts {
-		if _, err := hull.insert(p); err != nil {
+		if _, err := hull.insert(ctx, p); err != nil {
 			return 0, err
 		}
 	}
 	maxSupport := 1.0
-	for _, q := range pts {
+	for qi, q := range pts {
+		if qi%scanBatch == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, fmt.Errorf("core: regret evaluation canceled: %w", err)
+			}
+		}
 		if s, _ := hull.supportOf(q); s > maxSupport {
 			maxSupport = s
 		}
@@ -80,7 +94,7 @@ func MRRByLP(pts []geom.Vector, sel []int) (float64, error) {
 	}
 	mrr := 0.0
 	for _, q := range pts {
-		z, err := supportByLP(pts, sel, q)
+		z, err := supportByLP(context.Background(), pts, sel, q)
 		if err != nil {
 			return 0, err
 		}
@@ -216,6 +230,12 @@ func randomUtility(rng *rand.Rand, d int) geom.Vector {
 // that attains the regret. When the regret is zero it returns a nil
 // vector and witness −1.
 func WorstUtility(pts []geom.Vector, sel []int) (geom.Vector, int, error) {
+	return WorstUtilityCtx(context.Background(), pts, sel)
+}
+
+// WorstUtilityCtx is WorstUtility with cooperative cancellation (see
+// MRRGeometricCtx for the check granularity).
+func WorstUtilityCtx(ctx context.Context, pts []geom.Vector, sel []int) (geom.Vector, int, error) {
 	if _, err := validatePoints(pts); err != nil {
 		return nil, -1, err
 	}
@@ -231,13 +251,18 @@ func WorstUtility(pts []geom.Vector, sel []int) (geom.Vector, int, error) {
 		return nil, -1, err
 	}
 	for _, p := range selPts {
-		if _, err := hull.insert(p); err != nil {
+		if _, err := hull.insert(ctx, p); err != nil {
 			return nil, -1, err
 		}
 	}
 	maxSupport, witness := 1.0+geom.Eps, -1
 	var worst geom.Vector
 	for qi, q := range pts {
+		if qi%scanBatch == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, -1, fmt.Errorf("core: worst-utility scan canceled: %w", err)
+			}
+		}
 		if s, v := hull.supportOf(q); s > maxSupport && v != nil {
 			maxSupport = s
 			witness = qi
@@ -257,5 +282,5 @@ func WorstUtility(pts []geom.Vector, sel []int) (geom.Vector, int, error) {
 // SupportByLPForTest exposes the Greedy candidate LP to tests in
 // other packages (cross-checking GeoGreedy's dual support values).
 func SupportByLPForTest(pts []geom.Vector, sel []int, q geom.Vector) (float64, error) {
-	return supportByLP(pts, sel, q)
+	return supportByLP(context.Background(), pts, sel, q)
 }

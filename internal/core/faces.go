@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/assert"
@@ -44,7 +45,7 @@ func FacesOf(pts []geom.Vector, sel []int) ([]Face, error) {
 		return nil, err
 	}
 	for _, p := range selPts {
-		if _, err := hull.insert(p); err != nil {
+		if _, err := hull.insert(context.Background(), p); err != nil {
 			return nil, err
 		}
 	}
@@ -106,7 +107,7 @@ func CriticalRatioOf(pts []geom.Vector, sel []int, q geom.Vector) (float64, erro
 		return 0, err
 	}
 	for _, p := range selPts {
-		if _, err := hull.insert(p); err != nil {
+		if _, err := hull.insert(context.Background(), p); err != nil {
 			return 0, err
 		}
 	}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/assert"
+	"repro/internal/fault"
 	"repro/internal/geom"
 )
 
@@ -20,7 +23,16 @@ import (
 // on the skyline or the raw dataset is allowed and reproduces the
 // paper's D_sky experiments.
 func GeoGreedy(pts []geom.Vector, k int) (*Result, error) {
-	return geoGreedyTrace(pts, k, nil)
+	return geoGreedyTrace(context.Background(), pts, k, nil)
+}
+
+// GeoGreedyCtx is GeoGreedy with cooperative cancellation: the
+// context is checked once per greedy iteration, once per candidate
+// re-scan batch, and inside every dual-hull insertion, so a deadline
+// or cancel stops the algorithm within one batch even on pathological
+// hulls. The returned error wraps ctx.Err() when canceled.
+func GeoGreedyCtx(ctx context.Context, pts []geom.Vector, k int) (*Result, error) {
+	return geoGreedyTrace(ctx, pts, k, nil)
 }
 
 // GeoGreedyTrace is GeoGreedy plus a per-insertion callback: after
@@ -28,8 +40,18 @@ func GeoGreedy(pts []geom.Vector, k int) (*Result, error) {
 // the maximum regret ratio of the selection so far. StoredList uses
 // it to materialize the full insertion order with prefix regrets.
 func GeoGreedyTrace(pts []geom.Vector, k int, onSelect func(index int, mrrSoFar float64)) (*Result, error) {
-	return geoGreedyTrace(pts, k, onSelect)
+	return geoGreedyTrace(context.Background(), pts, k, onSelect)
 }
+
+// GeoGreedyTraceCtx is GeoGreedyTrace with cooperative cancellation
+// (see GeoGreedyCtx).
+func GeoGreedyTraceCtx(ctx context.Context, pts []geom.Vector, k int, onSelect func(index int, mrrSoFar float64)) (*Result, error) {
+	return geoGreedyTrace(ctx, pts, k, onSelect)
+}
+
+// scanBatch is the number of candidate-support computations between
+// cancellation checks in the initial assignment pass.
+const scanBatch = 4096
 
 // candState caches, for one unselected candidate, the dual vertex
 // currently maximizing v·q (the face its critical ray crosses) and
@@ -40,7 +62,7 @@ type candState struct {
 	taken   bool
 }
 
-func geoGreedyTrace(pts []geom.Vector, k int, onSelect func(int, float64)) (*Result, error) {
+func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k int, onSelect func(int, float64)) (*Result, error) {
 	d, err := validatePoints(pts)
 	if err != nil {
 		return nil, err
@@ -70,7 +92,7 @@ func geoGreedyTrace(pts []geom.Vector, k int, onSelect func(int, float64)) (*Res
 		seeds = seeds[:k]
 	}
 	for _, i := range seeds {
-		if _, err := hull.insert(pts[i]); err != nil {
+		if _, err := hull.insert(ctx, pts[i]); err != nil {
 			return nil, err
 		}
 		states[i].taken = true
@@ -83,7 +105,15 @@ func geoGreedyTrace(pts []geom.Vector, k int, onSelect func(int, float64)) (*Res
 		if states[i].taken {
 			continue
 		}
+		if i%scanBatch == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: GeoGreedy canceled during candidate assignment: %w", err)
+			}
+		}
 		val, v := hull.supportOf(pts[i])
+		if fault.Enabled {
+			val = fault.NaN(fault.SiteGeoGreedySupport, val)
+		}
 		states[i].bestVal, states[i].bestID = val, v.ID
 	}
 	if onSelect != nil {
@@ -95,12 +125,27 @@ func geoGreedyTrace(pts []geom.Vector, k int, onSelect func(int, float64)) (*Res
 
 	exhausted := -1
 	for len(selected) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: GeoGreedy canceled after %d selections: %w", len(selected), err)
+		}
+		if fault.Enabled && fault.Active(fault.SiteGeoGreedyPanic) {
+			panic("fault: injected geometry panic in GeoGreedy")
+		}
 		// Candidate with the smallest critical ratio = largest
-		// support value.
+		// support value. A NaN support means the hull arithmetic broke
+		// down (it would silently lose the candidate: every comparison
+		// against NaN is false) — surface it as a degeneracy instead.
 		best := -1
 		bestVal := 1.0 + geom.Eps
 		for i := range states {
-			if !states[i].taken && states[i].bestVal > bestVal {
+			if states[i].taken {
+				continue
+			}
+			if math.IsNaN(states[i].bestVal) {
+				return nil, fmt.Errorf("%w: candidate %d has NaN critical ratio after %d selections",
+					ErrDegenerate, i, len(selected))
+			}
+			if states[i].bestVal > bestVal {
 				best, bestVal = i, states[i].bestVal
 			}
 		}
@@ -110,7 +155,7 @@ func geoGreedyTrace(pts []geom.Vector, k int, onSelect func(int, float64)) (*Res
 			exhausted = len(selected)
 			break
 		}
-		res, err := hull.insert(pts[best])
+		res, err := hull.insert(ctx, pts[best])
 		if err != nil {
 			return nil, err
 		}
@@ -142,6 +187,9 @@ func geoGreedyTrace(pts []geom.Vector, k int, onSelect func(int, float64)) (*Res
 						newVal, newID = dot, v.ID
 					}
 				}
+				if fault.Enabled {
+					newVal = fault.NaN(fault.SiteGeoGreedySupport, newVal)
+				}
 				st.bestVal, st.bestID = newVal, newID
 			}
 		}
@@ -157,11 +205,14 @@ func geoGreedyTrace(pts []geom.Vector, k int, onSelect func(int, float64)) (*Res
 		// clip Q(S), so cached supports underestimate the regret —
 		// the paper's unbounded k < d regime (Section VII).
 		// Re-evaluate exactly from the selection alone.
-		exact, err := MRRGeometric(pts, selected)
+		exact, err := MRRGeometricCtx(ctx, pts, selected)
 		if err != nil {
 			return nil, err
 		}
 		mrr = exact
+	}
+	if math.IsNaN(mrr) || math.IsInf(mrr, 0) {
+		return nil, fmt.Errorf("%w: GeoGreedy regret ratio is %g", ErrDegenerate, mrr)
 	}
 	if assert.Enabled {
 		// Lemma 1: the maximum regret ratio of any non-empty

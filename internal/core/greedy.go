@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -24,6 +25,14 @@ import (
 // same selection (ties aside) — property-tested — while their
 // runtime profiles differ exactly as the paper reports.
 func Greedy(pts []geom.Vector, k int) (*Result, error) {
+	return GreedyCtx(context.Background(), pts, k)
+}
+
+// GreedyCtx is Greedy with cooperative cancellation: the context is
+// checked before every per-candidate LP and inside each simplex solve
+// (per pivot batch), so even iterations over large candidate sets
+// stop promptly. The returned error wraps ctx.Err() when canceled.
+func GreedyCtx(ctx context.Context, pts []geom.Vector, k int) (*Result, error) {
 	_, err := validatePoints(pts)
 	if err != nil {
 		return nil, err
@@ -54,7 +63,10 @@ func Greedy(pts []geom.Vector, k int) (*Result, error) {
 			if taken[i] {
 				continue
 			}
-			z, err := supportByLP(pts, selected, pts[i])
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: Greedy canceled after %d selections: %w", len(selected), err)
+			}
+			z, err := supportByLP(ctx, pts, selected, pts[i])
 			if err != nil {
 				return nil, err
 			}
@@ -82,12 +94,15 @@ func Greedy(pts []geom.Vector, k int) (*Result, error) {
 		if taken[i] {
 			continue
 		}
-		z, err := supportByLP(pts, selected, pts[i])
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: Greedy canceled during final evaluation: %w", err)
+		}
+		z, err := supportByLP(ctx, pts, selected, pts[i])
 		if err != nil {
 			return nil, err
 		}
 		if math.IsInf(z, 1) {
-			exact, err := MRRGeometric(pts, selected)
+			exact, err := MRRGeometricCtx(ctx, pts, selected)
 			if err != nil {
 				return nil, err
 			}
@@ -108,12 +123,12 @@ func Greedy(pts []geom.Vector, k int) (*Result, error) {
 // The optimum is 1/cr(q, S). Unbounded LPs (possible only when the
 // selection does not yet span every dimension, e.g. k < d) are
 // reported as +Inf.
-func supportByLP(pts []geom.Vector, selected []int, q geom.Vector) (float64, error) {
+func supportByLP(ctx context.Context, pts []geom.Vector, selected []int, q geom.Vector) (float64, error) {
 	cons := make([]lp.Constraint, len(selected))
 	for i, si := range selected {
 		cons[i] = lp.Constraint{Coeffs: pts[si], Rel: lp.LE, RHS: 1}
 	}
-	sol, err := lp.Solve(&lp.Problem{Objective: q, Maximize: true, Constraints: cons})
+	sol, err := lp.SolveCtx(ctx, &lp.Problem{Objective: q, Maximize: true, Constraints: cons})
 	if err != nil {
 		return 0, fmt.Errorf("core: greedy candidate LP: %w", err)
 	}

@@ -7,6 +7,7 @@ package core
 // normalized coordinates).
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -178,7 +179,7 @@ func TestPropertyCriticalRatioBounds(t *testing.T) {
 			return false
 		}
 		for _, p := range selPts {
-			if _, err := hull.insert(p); err != nil {
+			if _, err := hull.insert(context.Background(), p); err != nil {
 				return false
 			}
 		}

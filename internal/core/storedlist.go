@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -37,7 +38,14 @@ var ErrBeyondList = errors.New("core: k beyond the materialized stored-list pref
 // paper's "total time" of StoredList is the largest of the three
 // algorithms because of it — while Query is then near-free.
 func BuildStoredList(pts []geom.Vector) (*StoredList, error) {
-	s, err := BuildStoredListUpTo(pts, len(pts))
+	return BuildStoredListCtx(context.Background(), pts)
+}
+
+// BuildStoredListCtx is BuildStoredList with cooperative cancellation
+// (the preprocessing is one full GeoGreedy run; see GeoGreedyCtx for
+// the check granularity).
+func BuildStoredListCtx(ctx context.Context, pts []geom.Vector) (*StoredList, error) {
+	s, err := BuildStoredListUpToCtx(ctx, pts, len(pts))
 	if err != nil {
 		return nil, err
 	}
@@ -51,6 +59,12 @@ func BuildStoredList(pts []geom.Vector) (*StoredList, error) {
 // rejects larger ks with ErrBeyondList (unless the greedy exhausted
 // the hull before maxLen, in which case the list is complete anyway).
 func BuildStoredListUpTo(pts []geom.Vector, maxLen int) (*StoredList, error) {
+	return BuildStoredListUpToCtx(context.Background(), pts, maxLen)
+}
+
+// BuildStoredListUpToCtx is BuildStoredListUpTo with cooperative
+// cancellation.
+func BuildStoredListUpToCtx(ctx context.Context, pts []geom.Vector, maxLen int) (*StoredList, error) {
 	d, err := validatePoints(pts)
 	if err != nil {
 		return nil, err
@@ -62,7 +76,7 @@ func BuildStoredListUpTo(pts []geom.Vector, maxLen int) (*StoredList, error) {
 		maxLen = len(pts)
 	}
 	s := &StoredList{dim: d, nCand: len(pts)}
-	res, err := GeoGreedyTrace(pts, maxLen, func(idx int, mrr float64) {
+	res, err := GeoGreedyTraceCtx(ctx, pts, maxLen, func(idx int, mrr float64) {
 		s.order = append(s.order, idx)
 		s.mrrAt = append(s.mrrAt, mrr)
 	})
@@ -81,7 +95,7 @@ func BuildStoredListUpTo(pts []geom.Vector, maxLen int) (*StoredList, error) {
 	// same k.
 	seedN := len(BoundaryPoints(pts))
 	for i := 0; i < seedN-1 && i < len(s.order); i++ {
-		mrr, err := MRRGeometric(pts, s.order[:i+1])
+		mrr, err := MRRGeometricCtx(ctx, pts, s.order[:i+1])
 		if err != nil {
 			return nil, err
 		}

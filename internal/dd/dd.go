@@ -29,11 +29,13 @@
 package dd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/linalg"
 )
@@ -193,11 +195,27 @@ func (p *Polytope) Contains(x geom.Vector, eps float64) bool {
 // (leaving the polytope in an undefined state) if the intersection
 // has no vertices.
 func (p *Polytope) AddHalfspace(normal geom.Vector, offset float64) (AddResult, error) {
+	return p.AddHalfspaceCtx(context.Background(), normal, offset)
+}
+
+// AddHalfspaceCtx is AddHalfspace with a cancellation check before
+// the vertex classification pass and again before the (potentially
+// quadratic) edge-generation pass, so long insertion sequences driven
+// by package core stop promptly when the caller's context ends. A
+// canceled insertion leaves the polytope in an undefined state, like
+// ErrEmpty does.
+func (p *Polytope) AddHalfspaceCtx(ctx context.Context, normal geom.Vector, offset float64) (AddResult, error) {
+	if err := ctx.Err(); err != nil {
+		return AddResult{}, fmt.Errorf("dd: halfspace insertion canceled: %w", err)
+	}
 	if len(normal) != p.dim {
 		return AddResult{}, fmt.Errorf("%w: normal has dimension %d, want %d", ErrBadHalfspace, len(normal), p.dim)
 	}
 	if !normal.IsFinite() || math.IsNaN(offset) || math.IsInf(offset, 0) {
 		return AddResult{}, fmt.Errorf("%w: non-finite coefficients", ErrBadHalfspace)
+	}
+	if fault.Enabled && fault.Active(fault.SiteDDAddHalfspace) {
+		return AddResult{}, fmt.Errorf("%w (injected degeneracy)", ErrEmpty)
 	}
 	cIdx := int32(len(p.cons))
 	p.cons = append(p.cons, geom.Hyperplane{Normal: normal.Clone(), Offset: offset})
@@ -271,6 +289,9 @@ func (p *Polytope) AddHalfspace(normal geom.Vector, offset float64) (AddResult, 
 	// Candidate pruning: an edge's endpoints share at least dim−1
 	// tight constraints, so for each removed vertex we only test kept
 	// vertices reachable through the per-constraint incidence index.
+	if err := ctx.Err(); err != nil {
+		return AddResult{}, fmt.Errorf("dd: halfspace insertion canceled: %w", err)
+	}
 	incidence := p.buildIncidence(kept)
 	var added []*Vertex
 	counts := make(map[int]int, 64) // kept index → #shared tight constraints

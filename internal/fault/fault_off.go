@@ -1,0 +1,23 @@
+//go:build !kregretfault
+
+// Release-build stubs: every hook is an empty function and Enabled is
+// a false constant, so `if fault.Enabled { … }` blocks are eliminated
+// entirely by the compiler. See fault_on.go (built under the
+// kregretfault tag) for the real implementations and sites.go for the
+// package documentation.
+package fault
+
+// Enabled reports whether fault injection is compiled in.
+const Enabled = false
+
+// Active is a no-op without the kregretfault build tag.
+func Active(string) bool { return false }
+
+// NaN is a no-op without the kregretfault build tag.
+func NaN(_ string, v float64) float64 { return v }
+
+// Err is a no-op without the kregretfault build tag.
+func Err(string) error { return nil }
+
+// Sleep is a no-op without the kregretfault build tag.
+func Sleep(string) {}

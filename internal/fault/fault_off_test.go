@@ -1,0 +1,24 @@
+//go:build !kregretfault
+
+package fault
+
+import "testing"
+
+// Without the kregretfault tag every hook must be inert: hot loops
+// call them unconditionally behind `if fault.Enabled`, and the stubs
+// are also what production binaries link.
+func TestStubsAreInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the kregretfault tag")
+	}
+	if Active(SiteGeoGreedySupport) {
+		t.Fatal("stub Active fired")
+	}
+	if v := NaN(SiteGeoGreedySupport, 0.25); v != 0.25 {
+		t.Fatalf("stub NaN altered value: %v", v)
+	}
+	if err := Err(SiteLPIterationCap); err != nil {
+		t.Fatalf("stub Err returned %v", err)
+	}
+	Sleep(SiteLPSlowPivot) // must not stall or panic
+}

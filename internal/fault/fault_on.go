@@ -1,0 +1,110 @@
+//go:build kregretfault
+
+package fault
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// Enabled reports whether fault injection is compiled in.
+const Enabled = true
+
+// ErrInjected is the error produced by an armed Err site. Pipeline
+// code never returns it verbatim — each site maps it onto the failure
+// it simulates (lp.ErrIterationCap, dd.ErrEmpty, …).
+var ErrInjected = errors.New("fault: injected failure")
+
+// armed tracks, per site, how many future executions misbehave
+// (negative = unlimited) and, for Sleep sites, how long each stall
+// lasts. Guarded by mu: tests arm sites from the test goroutine while
+// solvers fire them from query goroutines.
+type armed struct {
+	shots int
+	delay time.Duration
+}
+
+var (
+	mu    sync.Mutex
+	sites = map[string]*armed{}
+	fired = map[string]int{}
+)
+
+// Arm makes the next `shots` executions of the site misbehave
+// (shots < 0 arms it until Reset).
+func Arm(site string, shots int) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[site] = &armed{shots: shots}
+}
+
+// ArmSleep makes every execution of the site stall for d until the
+// armed shot budget is spent (shots < 0 = until Reset).
+func ArmSleep(site string, shots int, d time.Duration) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[site] = &armed{shots: shots, delay: d}
+}
+
+// Reset disarms every site and clears the fired counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = map[string]*armed{}
+	fired = map[string]int{}
+}
+
+// Fired reports how many times the site actually triggered since the
+// last Reset — tests use it to prove an injection point is wired.
+func Fired(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return fired[site]
+}
+
+// fire consumes one shot of the site if armed, returning whether the
+// site misbehaves now and the configured stall duration.
+func fire(site string) (bool, time.Duration) {
+	mu.Lock()
+	defer mu.Unlock()
+	a := sites[site]
+	if a == nil || a.shots == 0 {
+		return false, 0
+	}
+	if a.shots > 0 {
+		a.shots--
+	}
+	fired[site]++
+	return true, a.delay
+}
+
+// Active reports (and consumes) one armed shot of the site.
+func Active(site string) bool {
+	on, _ := fire(site)
+	return on
+}
+
+// NaN returns NaN when the site is armed, v otherwise.
+func NaN(site string, v float64) float64 {
+	if on, _ := fire(site); on {
+		return math.NaN()
+	}
+	return v
+}
+
+// Err returns ErrInjected when the site is armed, nil otherwise.
+func Err(site string) error {
+	if on, _ := fire(site); on {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Sleep stalls for the armed duration when the site is armed.
+func Sleep(site string) {
+	if on, d := fire(site); on && d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,69 @@
+//go:build kregretfault
+
+package fault
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestArmConsumesShots(t *testing.T) {
+	defer Reset()
+	Arm(SiteGeoGreedySupport, 2)
+	if !math.IsNaN(NaN(SiteGeoGreedySupport, 1.5)) {
+		t.Fatal("first shot did not fire")
+	}
+	if !math.IsNaN(NaN(SiteGeoGreedySupport, 1.5)) {
+		t.Fatal("second shot did not fire")
+	}
+	if v := NaN(SiteGeoGreedySupport, 1.5); v != 1.5 {
+		t.Fatalf("disarmed site altered value: %v", v)
+	}
+	if got := Fired(SiteGeoGreedySupport); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestUnlimitedShotsAndReset(t *testing.T) {
+	defer Reset()
+	Arm(SiteLPIterationCap, -1)
+	for i := 0; i < 10; i++ {
+		if Err(SiteLPIterationCap) == nil {
+			t.Fatalf("unlimited site disarmed after %d shots", i)
+		}
+	}
+	Reset()
+	if Err(SiteLPIterationCap) != nil {
+		t.Fatal("Reset did not disarm site")
+	}
+	if Fired(SiteLPIterationCap) != 0 {
+		t.Fatal("Reset did not clear fired counter")
+	}
+}
+
+func TestUnarmedSitesAreInert(t *testing.T) {
+	defer Reset()
+	if Active(SiteDDAddHalfspace) {
+		t.Fatal("unarmed Active fired")
+	}
+	if Err(SiteDDAddHalfspace) != nil {
+		t.Fatal("unarmed Err fired")
+	}
+	Sleep(SiteLPSlowPivot) // must not stall
+}
+
+func TestArmSleepStalls(t *testing.T) {
+	defer Reset()
+	ArmSleep(SiteLPSlowPivot, 1, 20*time.Millisecond)
+	start := time.Now()
+	Sleep(SiteLPSlowPivot)
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("armed Sleep returned after %v", d)
+	}
+	start = time.Now()
+	Sleep(SiteLPSlowPivot)
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("spent Sleep still stalls: %v", d)
+	}
+}

@@ -1,0 +1,52 @@
+// Package fault is the fault-injection layer of the query pipeline,
+// compiled in only under the `kregretfault` build tag:
+//
+//	go test -tags kregretfault ./...
+//
+// Without the tag every hook is an empty stub and Enabled is a false
+// constant, so guarded call sites such as
+//
+//	if fault.Enabled {
+//		val = fault.NaN(fault.SiteGeoGreedySupport, val)
+//	}
+//
+// compile to nothing in release builds. With the tag, tests arm a
+// named site (Arm, ArmSleep) and the next executions of that site
+// misbehave in a controlled way: a support value becomes NaN, the
+// simplex solver reports its iteration cap, the double-description
+// step reports degeneracy, or a pivot batch stalls. This is how the
+// degradation chain (GeoGreedy → perturbed retry → Greedy → Cube) and
+// every cancellation point are proven to fire without hunting for a
+// naturally pathological input.
+//
+// The site names below are the complete set of injection points; they
+// are referenced from internal/core, internal/lp and internal/dd.
+package fault
+
+// Injection site names. Each constant is used at exactly one place in
+// the pipeline; tests reference sites only through these constants so
+// renames stay mechanical.
+const (
+	// SiteGeoGreedySupport corrupts the dual support value GeoGreedy
+	// caches for a candidate, producing a NaN critical ratio.
+	SiteGeoGreedySupport = "core.geogreedy.support"
+
+	// SiteDDAddHalfspace makes the next dd.Polytope.AddHalfspace
+	// report ErrEmpty, i.e. a numerically empty polytope — the dd
+	// degeneracy case of the fallback chain.
+	SiteDDAddHalfspace = "dd.add-halfspace"
+
+	// SiteLPIterationCap makes the next lp.Solve report
+	// ErrIterationCap as if the simplex had cycled past its pivot
+	// budget.
+	SiteLPIterationCap = "lp.iteration-cap"
+
+	// SiteLPSlowPivot stalls every simplex pivot batch for the armed
+	// duration, turning the LP solver into a slow loop so cancellation
+	// checks can be observed mid-solve.
+	SiteLPSlowPivot = "lp.slow-pivot"
+
+	// SiteGeoGreedyPanic panics inside the geometry core on the next
+	// GeoGreedy iteration, exercising the public panic boundary.
+	SiteGeoGreedyPanic = "core.geogreedy.panic"
+)

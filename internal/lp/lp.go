@@ -22,11 +22,13 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/assert"
+	"repro/internal/fault"
 )
 
 // Relation is the sense of a linear constraint.
@@ -116,11 +118,20 @@ const (
 	danzigCap  = 2000  // iterations before switching to Bland's rule
 	maxPivots  = 50000 // hard cap; Bland guarantees finite termination well below this
 	minPivotAb = 1e-11 // smallest acceptable pivot magnitude
+	ctxBatch   = 64    // pivots between cancellation checks in SolveCtx
 )
 
 // Solve optimizes the problem with the two-phase primal simplex
 // method. All variables are implicitly constrained to x ≥ 0.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the pivot loop
+// checks the context every ctxBatch pivots, so a canceled or expired
+// context stops even a degenerate, slowly-converging tableau within
+// one pivot batch. The returned error wraps ctx.Err().
+func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	n := len(p.Objective)
 	if n == 0 {
 		return nil, fmt.Errorf("%w: empty objective", ErrBadProblem)
@@ -147,7 +158,7 @@ func Solve(p *Problem) (*Solution, error) {
 
 	t := newTableau(p)
 	if t.numArtificial > 0 {
-		if err := t.phase1(); err != nil {
+		if err := t.phase1(ctx); err != nil {
 			return nil, err
 		}
 		if t.infeasible {
@@ -157,7 +168,7 @@ func Solve(p *Problem) (*Solution, error) {
 			assert.Feasible("lp phase-1 basis", t.basicValues(), feasEps)
 		}
 	}
-	status, err := t.phase2()
+	status, err := t.phase2(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -313,13 +324,13 @@ func addScaled(dst, src []float64, f float64) {
 
 // phase1 maximizes −Σ artificials; infeasible when the optimum is
 // below −feasEps.
-func (t *tableau) phase1() error {
+func (t *tableau) phase1(ctx context.Context) error {
 	c := make([]float64, t.width)
 	for j := t.artStart; j < t.width; j++ {
 		c[j] = -1
 	}
 	t.setObjectiveRow(c)
-	status, err := t.iterate(func(int) bool { return true })
+	status, err := t.iterate(ctx, func(int) bool { return true })
 	if err != nil {
 		return err
 	}
@@ -356,7 +367,7 @@ func (t *tableau) phase1() error {
 }
 
 // phase2 optimizes the real objective, excluding artificial columns.
-func (t *tableau) phase2() (Status, error) {
+func (t *tableau) phase2(ctx context.Context) (Status, error) {
 	c := make([]float64, t.width)
 	for j, v := range t.objective {
 		if t.maximize {
@@ -366,16 +377,28 @@ func (t *tableau) phase2() (Status, error) {
 		}
 	}
 	t.setObjectiveRow(c)
-	return t.iterate(func(j int) bool { return j < t.artStart })
+	return t.iterate(ctx, func(j int) bool { return j < t.artStart })
 }
 
-// iterate runs simplex pivots until optimality, unboundedness or the
-// iteration cap. allowed filters which columns may enter the basis.
-func (t *tableau) iterate(allowed func(int) bool) (Status, error) {
+// iterate runs simplex pivots until optimality, unboundedness, the
+// iteration cap or cancellation. allowed filters which columns may
+// enter the basis.
+func (t *tableau) iterate(ctx context.Context, allowed func(int) bool) (Status, error) {
+	if fault.Enabled && fault.Active(fault.SiteLPIterationCap) {
+		return Optimal, fmt.Errorf("%w (injected after %d pivots)", ErrIterationCap, t.pivots)
+	}
 	obj := t.rows[t.m]
 	for {
 		if t.pivots > maxPivots {
 			return Optimal, ErrIterationCap
+		}
+		if t.pivots%ctxBatch == 0 {
+			if fault.Enabled {
+				fault.Sleep(fault.SiteLPSlowPivot)
+			}
+			if err := ctx.Err(); err != nil {
+				return Optimal, fmt.Errorf("lp: solve canceled: %w", err)
+			}
 		}
 		bland := t.pivots > danzigCap
 		// Entering column.

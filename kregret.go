@@ -23,13 +23,29 @@
 //	idx, err := ds.BuildIndex()                  // StoredList preprocessing
 //	ans, err := idx.Query(10)                    // O(k) per query
 //
+// # Robustness
+//
+// Every query runs inside a hardened execution layer. QueryContext
+// and the other *Context variants thread a context.Context through
+// the geometric hot loops, so deadlines and cancellation stop even
+// pathological hulls within one scan batch. Residual panics in the
+// geometry core are converted into a typed *NumericalError instead of
+// killing the process, and when GeoGreedy's hull machinery fails
+// numerically the query degrades gracefully — a deterministic
+// epsilon-perturbed retry, then the LP Greedy baseline, then Cube —
+// with the degradation recorded in Answer.Degraded and
+// Answer.FallbackReason (opt out with WithoutFallback). See
+// DESIGN.md §9 for the full failure model.
+//
 // See the examples directory for complete programs and DESIGN.md for
 // the geometry behind the implementation.
 package kregret
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -47,6 +63,46 @@ var (
 	ErrNoPoints = errors.New("kregret: dataset has no points")
 	ErrBadK     = errors.New("kregret: k must be at least 1")
 )
+
+// NumericalError reports that the geometry core failed numerically —
+// a NaN critical ratio, a degenerate dual polytope, a cycling simplex
+// tableau, or a recovered panic — while answering a query. It carries
+// enough context to reproduce the failure. When the degradation chain
+// is enabled (the default) a NumericalError surfaces only after every
+// fallback stage failed too; Unwrap then yields the joined per-stage
+// errors.
+type NumericalError struct {
+	// Op names the public operation that failed ("Query",
+	// "EvaluateMRR", "BuildIndex", …).
+	Op string
+	// Algorithm, K and Candidates record the query configuration.
+	Algorithm  Algorithm
+	K          int
+	Candidates CandidateSet
+	// NumCandidates is the size of the candidate set the solver ran
+	// on (0 when the failure happened outside a solver run).
+	NumCandidates int
+	// PanicValue holds the recovered panic value when the failure was
+	// a panic in the geometry core, nil otherwise.
+	PanicValue any
+	// Err is the underlying error (nil for a bare recovered panic).
+	Err error
+}
+
+func (e *NumericalError) Error() string {
+	head := fmt.Sprintf("kregret: %s with %v (k=%d, %d %v candidates)",
+		e.Op, e.Algorithm, e.K, e.NumCandidates, e.Candidates)
+	switch {
+	case e.PanicValue != nil:
+		return fmt.Sprintf("%s panicked: %v", head, e.PanicValue)
+	case e.Err != nil:
+		return fmt.Sprintf("%s failed numerically: %v", head, e.Err)
+	}
+	return head + " failed numerically"
+}
+
+// Unwrap exposes the underlying error chain for errors.Is/As.
+func (e *NumericalError) Unwrap() error { return e.Err }
 
 // Algorithm selects which solver answers a query.
 type Algorithm int
@@ -113,10 +169,11 @@ type options struct {
 	algorithm  Algorithm
 	candidates CandidateSet
 	workers    int
+	fallback   bool
 }
 
 func defaultOptions() options {
-	return options{normalize: true, algorithm: AlgoGeoGreedy, candidates: CandidatesHappy, workers: 1}
+	return options{normalize: true, algorithm: AlgoGeoGreedy, candidates: CandidatesHappy, workers: 1, fallback: true}
 }
 
 // WithParallelism makes the candidate-set preprocessing (skyline and
@@ -139,17 +196,33 @@ func WithAlgorithm(a Algorithm) Option { return func(o *options) { o.algorithm =
 // WithCandidates selects the candidate set the solver searches.
 func WithCandidates(c CandidateSet) Option { return func(o *options) { o.candidates = c } }
 
+// WithoutFallback disables the degradation chain: a numerical failure
+// of the configured algorithm surfaces as a *NumericalError instead
+// of being retried with perturbed candidates and weaker algorithms.
+// Use it when a degraded answer is worse than no answer (e.g. when
+// measuring the algorithms themselves).
+func WithoutFallback() Option { return func(o *options) { o.fallback = false } }
+
 // Dataset is an immutable collection of tuples prepared for k-regret
-// queries. Candidate sets (skyline, happy, hull) are computed lazily
-// and cached; a Dataset is not safe for concurrent use while those
-// caches are still being filled — share it only after a first Query
-// or after calling the accessor you need, or guard it externally.
+// queries. Candidate sets (skyline, happy, hull) are computed lazily,
+// each behind its own sync.Once, so a Dataset is safe for concurrent
+// use by multiple goroutines from the moment NewDataset returns —
+// concurrent first calls simply share one computation.
 type Dataset struct {
 	pts     []geom.Vector
-	sky     []int
-	happy   []int
-	conv    []int
 	workers int
+
+	skyOnce sync.Once
+	sky     []int
+	skyErr  error
+
+	happyOnce sync.Once
+	happy     []int
+	happyErr  error
+
+	convOnce sync.Once
+	conv     []int
+	convErr  error
 }
 
 // NewDataset validates and (by default) normalizes the tuples so
@@ -198,54 +271,65 @@ func (d *Dataset) Point(i int) Point {
 }
 
 // Skyline returns the indices of the skyline tuples (not dominated by
-// any other tuple), computed once and cached.
+// any other tuple), computed once and cached; concurrent callers
+// share the computation.
 func (d *Dataset) Skyline() ([]int, error) {
-	if d.sky == nil {
-		var sky []int
-		var err error
+	d.skyOnce.Do(func() {
 		if d.workers == 1 {
-			sky, err = skyline.Of(d.pts)
+			d.sky, d.skyErr = skyline.Of(d.pts)
 		} else {
-			sky, err = skyline.ComputeParallel(d.pts, d.workers)
+			d.sky, d.skyErr = skyline.ComputeParallel(d.pts, d.workers)
 		}
-		if err != nil {
-			return nil, fmt.Errorf("kregret: %w", err)
+		if d.skyErr != nil {
+			d.skyErr = fmt.Errorf("kregret: %w", d.skyErr)
 		}
-		d.sky = sky
+	})
+	if d.skyErr != nil {
+		return nil, d.skyErr
 	}
 	return append([]int(nil), d.sky...), nil
 }
 
 // HappyPoints returns the indices of the happy tuples — the paper's
 // candidate set, a subset of the skyline that still contains an
-// optimal answer for every k (Lemma 2) — computed once and cached.
+// optimal answer for every k (Lemma 2) — computed once and cached;
+// concurrent callers share the computation.
 func (d *Dataset) HappyPoints() ([]int, error) {
-	if d.happy == nil {
+	d.happyOnce.Do(func() {
 		if _, err := d.Skyline(); err != nil {
-			return nil, err
+			d.happyErr = err
+			return
 		}
 		if d.workers == 1 {
 			d.happy = happy.ComputeAmongSkyline(d.pts, d.sky)
 		} else {
 			d.happy = happy.ComputeAmongSkylineParallel(d.pts, d.sky, d.workers)
 		}
+	})
+	if d.happyErr != nil {
+		return nil, d.happyErr
 	}
 	return append([]int(nil), d.happy...), nil
 }
 
 // ConvexPoints returns the indices of the tuples that are extreme
 // points of the convex hull (D_conv in the paper), computed once and
-// cached.
+// cached; concurrent callers share the computation.
 func (d *Dataset) ConvexPoints() ([]int, error) {
-	if d.conv == nil {
+	d.convOnce.Do(func() {
 		if _, err := d.HappyPoints(); err != nil {
-			return nil, err
+			d.convErr = err
+			return
 		}
 		conv, err := core.ConvexAmongHappy(d.pts, d.happy)
 		if err != nil {
-			return nil, fmt.Errorf("kregret: %w", err)
+			d.convErr = fmt.Errorf("kregret: %w", err)
+			return
 		}
 		d.conv = conv
+	})
+	if d.convErr != nil {
+		return nil, d.convErr
 	}
 	return append([]int(nil), d.conv...), nil
 }
@@ -259,8 +343,16 @@ type Answer struct {
 	// whole dataset and all linear utility functions.
 	MRR float64
 	// Algorithm and Candidates record how the answer was produced.
+	// After a degraded query, Algorithm is the solver that actually
+	// answered, not the one requested.
 	Algorithm  Algorithm
 	Candidates CandidateSet
+	// Degraded reports that the requested solver failed numerically
+	// and the answer came from the degradation chain (perturbed
+	// retry, then Greedy, then Cube). FallbackReason says which stage
+	// answered and why the earlier stages failed.
+	Degraded       bool
+	FallbackReason string
 }
 
 // candidateIndices resolves the configured candidate set to dataset
@@ -287,12 +379,25 @@ func (d *Dataset) candidateIndices(c CandidateSet) ([]int, error) {
 // regret ratio. The default configuration is GeoGreedy over happy
 // points; use WithAlgorithm / WithCandidates to change it.
 func (d *Dataset) Query(k int, opts ...Option) (*Answer, error) {
+	return d.QueryContext(context.Background(), k, opts...)
+}
+
+// QueryContext is Query bounded by a context: cancellation and
+// deadlines propagate into the geometric hot loops (hull insertions,
+// candidate scans, simplex pivot batches), so the call returns an
+// error wrapping ctx.Err() shortly after the context ends instead of
+// running to completion. An already-expired context returns before
+// any work is done.
+func (d *Dataset) QueryContext(ctx context.Context, k int, opts ...Option) (*Answer, error) {
 	o := defaultOptions()
 	for _, f := range opts {
 		f(&o)
 	}
 	if k < 1 {
 		return nil, ErrBadK
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("kregret: query canceled: %w", err)
 	}
 	cand, err := d.candidateIndices(o.candidates)
 	if err != nil {
@@ -302,25 +407,17 @@ func (d *Dataset) Query(k int, opts ...Option) (*Answer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kregret: %w", err)
 	}
-	var res *core.Result
-	switch o.algorithm {
-	case AlgoGeoGreedy:
-		res, err = core.GeoGreedy(candPts, k)
-	case AlgoGreedy:
-		res, err = core.Greedy(candPts, k)
-	case AlgoCube:
-		res, err = core.Cube(candPts, k)
-	default:
-		return nil, fmt.Errorf("kregret: unknown algorithm %v", o.algorithm)
-	}
+	res, deg, err := solveWithFallback(ctx, &o, candPts, k)
 	if err != nil {
-		return nil, fmt.Errorf("kregret: %w", err)
+		return nil, err
 	}
 	ans := &Answer{
-		Indices:    make([]int, len(res.Indices)),
-		MRR:        res.MRR,
-		Algorithm:  o.algorithm,
-		Candidates: o.candidates,
+		Indices:        make([]int, len(res.Indices)),
+		MRR:            res.MRR,
+		Algorithm:      deg.algorithm,
+		Candidates:     o.candidates,
+		Degraded:       deg.degraded,
+		FallbackReason: deg.reason,
 	}
 	for i, ci := range res.Indices {
 		ans.Indices[i] = cand[ci]
@@ -328,13 +425,183 @@ func (d *Dataset) Query(k int, opts ...Option) (*Answer, error) {
 	return ans, nil
 }
 
+// degradation records which solver finally answered and why earlier
+// stages failed.
+type degradation struct {
+	algorithm Algorithm
+	degraded  bool
+	reason    string
+}
+
+// solveWithFallback runs the configured solver behind the panic
+// boundary and, when it fails numerically and fallback is enabled,
+// walks the degradation chain: one deterministic epsilon-perturbed
+// retry of the same solver, then each strictly more robust (and
+// strictly weaker or slower) algorithm below it — Greedy, then Cube.
+// Cancellation and invalid-input errors are never retried.
+func solveWithFallback(ctx context.Context, o *options, candPts []geom.Vector, k int) (*core.Result, degradation, error) {
+	res, err := runSolver(ctx, o.algorithm, candPts, k, o.candidates)
+	if err == nil {
+		return res, degradation{algorithm: o.algorithm}, nil
+	}
+	if !o.fallback || !retriable(err) {
+		return nil, degradation{}, err
+	}
+	failures := []error{fmt.Errorf("%v: %w", o.algorithm, err)}
+
+	// Stage 1: same solver over deterministically perturbed
+	// candidates — a ~1e-9 relative nudge resolves exact-degeneracy
+	// ties (coplanar points, duplicate coordinates) without moving
+	// any regret ratio beyond float noise.
+	if res, err2 := runSolver(ctx, o.algorithm, perturbed(candPts), k, o.candidates); err2 == nil {
+		return res, degradation{
+			algorithm: o.algorithm,
+			degraded:  true,
+			reason:    fmt.Sprintf("%v retried with epsilon perturbation after: %v", o.algorithm, err),
+		}, nil
+	} else if !retriable(err2) {
+		return nil, degradation{}, err2
+	} else {
+		failures = append(failures, fmt.Errorf("%v (perturbed): %w", o.algorithm, err2))
+	}
+
+	// Stage 2: progressively cheaper/more robust algorithms. The
+	// chain preserves answer semantics (same candidate set, same k)
+	// at decreasing answer quality: Greedy reaches the same selection
+	// through LPs with no incremental hull state; Cube is non-
+	// adaptive arithmetic that cannot fail numerically.
+	for _, alg := range fallbackChain(o.algorithm) {
+		res, err2 := runSolver(ctx, alg, candPts, k, o.candidates)
+		if err2 == nil {
+			return res, degradation{
+				algorithm: alg,
+				degraded:  true,
+				reason:    fmt.Sprintf("fell back to %v after: %v", alg, errors.Join(failures...)),
+			}, nil
+		}
+		if !retriable(err2) {
+			return nil, degradation{}, err2
+		}
+		failures = append(failures, fmt.Errorf("%v: %w", alg, err2))
+	}
+	return nil, degradation{}, &NumericalError{
+		Op:            "Query",
+		Algorithm:     o.algorithm,
+		K:             k,
+		Candidates:    o.candidates,
+		NumCandidates: len(candPts),
+		Err:           errors.Join(failures...),
+	}
+}
+
+// fallbackChain lists the algorithms tried after alg fails, in order.
+func fallbackChain(alg Algorithm) []Algorithm {
+	switch alg {
+	case AlgoGeoGreedy:
+		return []Algorithm{AlgoGreedy, AlgoCube}
+	case AlgoGreedy:
+		return []Algorithm{AlgoCube}
+	}
+	return nil
+}
+
+// retriable reports whether the degradation chain may continue past
+// err: numerical failures and recovered panics qualify; cancellation
+// and invalid input never do.
+func retriable(err error) bool {
+	if core.IsNumerical(err) {
+		return true
+	}
+	var ne *NumericalError
+	return errors.As(err, &ne) && ne.PanicValue != nil &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// runSolver executes one solver over the candidate points inside the
+// panic boundary: a panic anywhere in the geometry core surfaces as a
+// *NumericalError instead of unwinding into the caller's goroutine.
+func runSolver(ctx context.Context, alg Algorithm, candPts []geom.Vector, k int, cs CandidateSet) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &NumericalError{
+				Op:            "Query",
+				Algorithm:     alg,
+				K:             k,
+				Candidates:    cs,
+				NumCandidates: len(candPts),
+				PanicValue:    r,
+			}
+		}
+	}()
+	switch alg {
+	case AlgoGeoGreedy:
+		res, err = core.GeoGreedyCtx(ctx, candPts, k)
+	case AlgoGreedy:
+		res, err = core.GreedyCtx(ctx, candPts, k)
+	case AlgoCube:
+		res, err = core.CubeCtx(ctx, candPts, k)
+	default:
+		return nil, fmt.Errorf("kregret: unknown algorithm %v", alg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("kregret: %w", err)
+	}
+	return res, nil
+}
+
+// perturbed returns a copy of pts with every coordinate scaled by
+// 1 + ε·h(i,j), where h is a fixed integer hash mapped into [−1, 1]
+// and ε = 1e-9. The perturbation is deterministic (retries are
+// reproducible), preserves strict positivity and finiteness, and is
+// far below every tolerance used by the solvers — it exists only to
+// break exact ties that trip degenerate code paths.
+func perturbed(pts []geom.Vector) []geom.Vector {
+	const eps = 1e-9
+	out := make([]geom.Vector, len(pts))
+	for i, p := range pts {
+		q := make(geom.Vector, len(p))
+		for j, x := range p {
+			h := float64((i*2654435761+j*40503)%2047-1023) / 1023
+			q[j] = x * (1 + eps*h)
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// protect runs fn inside the panic boundary, converting a panic in
+// the geometry core into a *NumericalError for the named operation.
+func (d *Dataset) protect(op string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &NumericalError{Op: op, PanicValue: r}
+		}
+	}()
+	return fn()
+}
+
 // EvaluateMRR computes the exact maximum regret ratio of an arbitrary
 // selection (dataset indices) over the whole dataset, using the
 // paper's Lemma 1.
 func (d *Dataset) EvaluateMRR(selection []int) (float64, error) {
-	mrr, err := core.MRRGeometric(d.pts, selection)
+	return d.EvaluateMRRContext(context.Background(), selection)
+}
+
+// EvaluateMRRContext is EvaluateMRR bounded by a context (see
+// QueryContext for the cancellation granularity).
+func (d *Dataset) EvaluateMRRContext(ctx context.Context, selection []int) (float64, error) {
+	var mrr float64
+	err := d.protect("EvaluateMRR", func() error {
+		m, err := core.MRRGeometricCtx(ctx, d.pts, selection)
+		if err != nil {
+			return fmt.Errorf("kregret: %w", err)
+		}
+		mrr = m
+		return nil
+	})
 	if err != nil {
-		return 0, fmt.Errorf("kregret: %w", err)
+		return 0, err
 	}
 	return mrr, nil
 }
@@ -342,11 +609,37 @@ func (d *Dataset) EvaluateMRR(selection []int) (float64, error) {
 // RegretOf computes the regret ratio of a selection for one specific
 // linear utility function given by its non-negative weight vector.
 func (d *Dataset) RegretOf(selection []int, weights Point) (float64, error) {
-	r, err := core.RegretOf(d.pts, selection, geom.Vector(weights))
-	if err != nil {
-		return 0, fmt.Errorf("kregret: %w", err)
+	if err := d.validateWeights(weights); err != nil {
+		return 0, err
 	}
-	return r, nil
+	var ratio float64
+	err := d.protect("RegretOf", func() error {
+		r, err := core.RegretOf(d.pts, selection, geom.Vector(weights))
+		if err != nil {
+			return fmt.Errorf("kregret: %w", err)
+		}
+		ratio = r
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return ratio, nil
+}
+
+// validateWeights rejects weight vectors of the wrong dimension or
+// with non-finite components before they reach the geometry core —
+// the core's dot products assume validated input and panic on
+// dimension mismatches.
+func (d *Dataset) validateWeights(weights Point) error {
+	if len(weights) != d.Dim() {
+		return fmt.Errorf("kregret: utility weights: %w: %d vs %d",
+			geom.ErrDimensionMismatch, d.Dim(), len(weights))
+	}
+	if !geom.Vector(weights).IsFinite() {
+		return fmt.Errorf("kregret: utility weights must be finite, got %v", geom.Vector(weights))
+	}
+	return nil
 }
 
 // AverageRegret estimates the mean regret ratio of a selection over
@@ -365,11 +658,25 @@ func (d *Dataset) AverageRegret(selection []int, samples int, seed int64) (float
 // dataset index of the witness tuple the user would have preferred.
 // Witness is −1 when the regret is zero.
 func (d *Dataset) WorstUtility(selection []int) (weights Point, witness int, err error) {
-	w, wit, err := core.WorstUtility(d.pts, selection)
+	return d.WorstUtilityContext(context.Background(), selection)
+}
+
+// WorstUtilityContext is WorstUtility bounded by a context (see
+// QueryContext for the cancellation granularity).
+func (d *Dataset) WorstUtilityContext(ctx context.Context, selection []int) (weights Point, witness int, err error) {
+	witness = -1
+	err = d.protect("WorstUtility", func() error {
+		w, wit, err := core.WorstUtilityCtx(ctx, d.pts, selection)
+		if err != nil {
+			return fmt.Errorf("kregret: %w", err)
+		}
+		weights, witness = Point(w), wit
+		return nil
+	})
 	if err != nil {
-		return nil, -1, fmt.Errorf("kregret: %w", err)
+		return nil, -1, err
 	}
-	return Point(w), wit, nil
+	return weights, witness, nil
 }
 
 // Index is the materialized StoredList of the paper's Section IV-B:
@@ -382,7 +689,14 @@ type Index struct {
 // BuildIndex runs the StoredList preprocessing over the happy points.
 // The returned Index is immutable and safe for concurrent queries.
 func (d *Dataset) BuildIndex() (*Index, error) {
-	return d.buildIndex(0)
+	return d.buildIndex(context.Background(), 0)
+}
+
+// BuildIndexContext is BuildIndex bounded by a context: the StoredList
+// preprocessing is one full GeoGreedy run and honors cancellation at
+// the same granularity as QueryContext.
+func (d *Dataset) BuildIndexContext(ctx context.Context) (*Index, error) {
+	return d.buildIndex(ctx, 0)
 }
 
 // BuildIndexUpTo materializes the index only up to queries of size
@@ -393,10 +707,18 @@ func (d *Dataset) BuildIndexUpTo(maxK int) (*Index, error) {
 	if maxK < 1 {
 		return nil, ErrBadK
 	}
-	return d.buildIndex(maxK)
+	return d.buildIndex(context.Background(), maxK)
 }
 
-func (d *Dataset) buildIndex(maxK int) (*Index, error) {
+// BuildIndexUpToContext is BuildIndexUpTo bounded by a context.
+func (d *Dataset) BuildIndexUpToContext(ctx context.Context, maxK int) (*Index, error) {
+	if maxK < 1 {
+		return nil, ErrBadK
+	}
+	return d.buildIndex(ctx, maxK)
+}
+
+func (d *Dataset) buildIndex(ctx context.Context, maxK int) (*Index, error) {
 	cand, err := d.HappyPoints()
 	if err != nil {
 		return nil, err
@@ -406,13 +728,20 @@ func (d *Dataset) buildIndex(maxK int) (*Index, error) {
 		return nil, fmt.Errorf("kregret: %w", err)
 	}
 	var list *core.StoredList
-	if maxK <= 0 {
-		list, err = core.BuildStoredList(candPts)
-	} else {
-		list, err = core.BuildStoredListUpTo(candPts, maxK)
-	}
+	err = d.protect("BuildIndex", func() error {
+		var err error
+		if maxK <= 0 {
+			list, err = core.BuildStoredListCtx(ctx, candPts)
+		} else {
+			list, err = core.BuildStoredListUpToCtx(ctx, candPts, maxK)
+		}
+		if err != nil {
+			return fmt.Errorf("kregret: %w", err)
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("kregret: %w", err)
+		return nil, err
 	}
 	return &Index{list: list, cand: cand}, nil
 }
