@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet kregret-vet test test-race test-debug test-fault fuzz-smoke check
+.PHONY: build vet kregret-vet test test-race test-debug test-fault test-serve fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -33,11 +33,22 @@ test-debug:
 test-fault:
 	$(GO) test -tags kregretfault ./...
 
-# Short native-fuzzing pass over the public constructors and query
-# path: degenerate datasets must produce an error or a valid Answer,
-# never a panic.
+# Serving-engine stress: the admission/breaker/persistence layer under
+# the race detector with the fault-injection harness compiled in —
+# concurrent query storms, forced queue overflow, breaker trips and
+# torn snapshot writes.
+test-serve:
+	$(GO) test -race -tags kregretfault -count=1 \
+		-run 'Engine|Pool|Breaker|Snapshot|SaveFile|LoadFile|Fault' \
+		./internal/serve .
+
+# Short native-fuzzing pass over the public constructors, the query
+# path and the snapshot decoder: degenerate datasets must produce an
+# error or a valid Answer, corrupt snapshots a typed error — never a
+# panic.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzNewDataset -fuzztime=10s .
 	$(GO) test -run=^$$ -fuzz=FuzzQuery -fuzztime=10s .
+	$(GO) test -run=^$$ -fuzz=FuzzLoadIndex -fuzztime=10s .
 
-check: build vet kregret-vet test-race test-debug test-fault
+check: build vet kregret-vet test-race test-debug test-fault test-serve

@@ -8,6 +8,15 @@
 //	kregret -k 10 -in cars.csv -cand skyline    # prior work's candidates
 //	kregret -in cars.csv -stats                 # candidate-set statistics
 //	kregret -k 10 -in cars.csv -timeout 30s     # bound the query wall-clock
+//	kregret -k 10 -in cars.csv -save-index i.snap   # persist the StoredList
+//	kregret -k 10 -in cars.csv -load-index i.snap   # serve from the snapshot
+//	kregret -k 10 -in cars.csv -concurrency 4       # serve through the engine
+//
+// The -save-index/-load-index/-concurrency flags route the query
+// through kregret.Engine: admission control, per-query budgets,
+// circuit breaking, and crash-safe snapshot files (a corrupt or
+// mismatched snapshot is rebuilt, not fatal). Engine counters are
+// reported on exit.
 //
 // Input: one tuple per CSV record, numeric fields only, optional
 // header row; every attribute is treated as larger-is-better (negate
@@ -28,29 +37,43 @@ import (
 	"repro/internal/dataset"
 )
 
+// runConfig carries the parsed flags.
+type runConfig struct {
+	in          string
+	k           int
+	algo, cand  string
+	stats       bool
+	timeout     time.Duration
+	concurrency int
+	saveIndex   string
+	loadIndex   string
+}
+
 func main() {
-	var (
-		in      = flag.String("in", "", "input CSV file (required)")
-		k       = flag.Int("k", 10, "maximum number of tuples to return")
-		algo    = flag.String("algo", "geogreedy", "algorithm: geogreedy or greedy")
-		cand    = flag.String("cand", "happy", "candidate set: happy, skyline or all")
-		stats   = flag.Bool("stats", false, "print candidate-set statistics instead of answering a query")
-		timeout = flag.Duration("timeout", 0, "abort the query after this long (e.g. 30s; 0 = no limit)")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.in, "in", "", "input CSV file (required)")
+	flag.IntVar(&cfg.k, "k", 10, "maximum number of tuples to return")
+	flag.StringVar(&cfg.algo, "algo", "geogreedy", "algorithm: geogreedy or greedy")
+	flag.StringVar(&cfg.cand, "cand", "happy", "candidate set: happy, skyline or all")
+	flag.BoolVar(&cfg.stats, "stats", false, "print candidate-set statistics instead of answering a query")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the query after this long (e.g. 30s; 0 = no limit)")
+	flag.IntVar(&cfg.concurrency, "concurrency", 0, "serve through the engine with this many workers (0 = direct query)")
+	flag.StringVar(&cfg.saveIndex, "save-index", "", "build the StoredList index and save it to this file (atomic write)")
+	flag.StringVar(&cfg.loadIndex, "load-index", "", "serve from this index snapshot (rebuilt if missing or corrupt)")
 	flag.Parse()
-	if *in == "" {
+	if cfg.in == "" {
 		fmt.Fprintln(os.Stderr, "kregret: -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *k, *algo, *cand, *stats, *timeout); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "kregret: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, k int, algo, cand string, stats bool, timeout time.Duration) error {
-	raw, err := dataset.ReadCSVFile(in)
+func run(cfg runConfig) error {
+	raw, err := dataset.ReadCSVFile(cfg.in)
 	if err != nil {
 		return err
 	}
@@ -63,7 +86,7 @@ func run(in string, k int, algo, cand string, stats bool, timeout time.Duration)
 		return err
 	}
 
-	if stats {
+	if cfg.stats {
 		sky, err := ds.Skyline()
 		if err != nil {
 			return err
@@ -85,15 +108,15 @@ func run(in string, k int, algo, cand string, stats bool, timeout time.Duration)
 	}
 
 	var opts []kregret.Option
-	switch algo {
+	switch cfg.algo {
 	case "geogreedy":
 		opts = append(opts, kregret.WithAlgorithm(kregret.AlgoGeoGreedy))
 	case "greedy":
 		opts = append(opts, kregret.WithAlgorithm(kregret.AlgoGreedy))
 	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		return fmt.Errorf("unknown algorithm %q", cfg.algo)
 	}
-	switch cand {
+	switch cfg.cand {
 	case "happy":
 		opts = append(opts, kregret.WithCandidates(kregret.CandidatesHappy))
 	case "skyline":
@@ -101,19 +124,71 @@ func run(in string, k int, algo, cand string, stats bool, timeout time.Duration)
 	case "all":
 		opts = append(opts, kregret.WithCandidates(kregret.CandidatesAll))
 	default:
-		return fmt.Errorf("unknown candidate set %q", cand)
+		return fmt.Errorf("unknown candidate set %q", cfg.cand)
 	}
 
 	ctx := context.Background()
-	if timeout > 0 {
+	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	ans, err := ds.QueryContext(ctx, k, opts...)
+
+	var ans *kregret.Answer
+	if cfg.concurrency > 0 || cfg.saveIndex != "" || cfg.loadIndex != "" {
+		ans, err = runEngine(ctx, cfg, ds, opts)
+	} else {
+		ans, err = ds.QueryContext(ctx, cfg.k, opts...)
+	}
 	if err != nil {
 		return err
 	}
+	return printAnswer(ds, ans)
+}
+
+// runEngine answers the query through the serving engine, handling
+// the snapshot flags and reporting the engine counters on exit.
+func runEngine(ctx context.Context, cfg runConfig, ds *kregret.Dataset, opts []kregret.Option) (*kregret.Answer, error) {
+	engOpts := []kregret.EngineOption{kregret.WithWorkers(cfg.concurrency)}
+	// -load-index serves from (and repairs) an existing snapshot;
+	// -save-index alone builds one at the target path. Either way the
+	// engine owns the snapshot lifecycle, atomically.
+	snapshot := cfg.loadIndex
+	if snapshot == "" {
+		snapshot = cfg.saveIndex
+	}
+	if snapshot != "" {
+		engOpts = append(engOpts, kregret.WithSnapshot(snapshot))
+	}
+	eng, err := kregret.NewEngine(ds, engOpts...)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "kregret: engine shutdown: %v\n", err)
+		}
+		printEngineStats(eng.Stats())
+	}()
+	if cfg.saveIndex != "" && cfg.saveIndex != snapshot {
+		// Loaded from one path, saving to another.
+		if err := eng.Index().SaveFile(cfg.saveIndex, ds); err != nil {
+			return nil, err
+		}
+	}
+	return eng.Query(ctx, cfg.k, opts...)
+}
+
+func printEngineStats(s kregret.EngineStats) {
+	fmt.Printf("engine: admitted=%d completed=%d shed=%d (overload=%d, deadline=%d) canceled=%d degraded=%d breaker-short-circuits=%d\n",
+		s.Admitted, s.Completed, s.ShedOverload+s.ShedDeadline, s.ShedOverload, s.ShedDeadline,
+		s.Canceled, s.Degraded, s.BreakerShortCircuits)
+	if s.SnapshotRebuilt {
+		fmt.Println("engine: index snapshot was missing, corrupt or mismatched and has been rebuilt")
+	}
+}
+
+func printAnswer(ds *kregret.Dataset, ans *kregret.Answer) error {
 	fmt.Printf("selected %d of %d tuples, maximum regret ratio %.4f\n",
 		len(ans.Indices), ds.Len(), ans.MRR)
 	if ans.Degraded {

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	kregret "repro"
 	"repro/internal/dataset"
 )
 
@@ -22,6 +24,10 @@ func writeTestCSV(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+func queryCfg(in string) runConfig {
+	return runConfig{in: in, k: 5, algo: "geogreedy", cand: "happy"}
 }
 
 // capture runs f with stdout redirected and returns what it printed.
@@ -54,13 +60,17 @@ func capture(t *testing.T, f func() error) string {
 func TestRunQuery(t *testing.T) {
 	path := writeTestCSV(t)
 	for _, algo := range []string{"geogreedy", "greedy"} {
-		out := capture(t, func() error { return run(path, 5, algo, "happy", false, 0) })
+		cfg := queryCfg(path)
+		cfg.algo = algo
+		out := capture(t, func() error { return run(cfg) })
 		if !strings.Contains(out, "maximum regret ratio") {
 			t.Fatalf("%s: missing regret line in %q", algo, out)
 		}
 	}
 	for _, cand := range []string{"skyline", "all"} {
-		out := capture(t, func() error { return run(path, 5, "geogreedy", cand, false, 0) })
+		cfg := queryCfg(path)
+		cfg.cand = cand
+		out := capture(t, func() error { return run(cfg) })
 		if !strings.Contains(out, "selected") {
 			t.Fatalf("%s: missing selection in %q", cand, out)
 		}
@@ -69,7 +79,9 @@ func TestRunQuery(t *testing.T) {
 
 func TestRunStats(t *testing.T) {
 	path := writeTestCSV(t)
-	out := capture(t, func() error { return run(path, 5, "geogreedy", "happy", true, 0) })
+	cfg := queryCfg(path)
+	cfg.stats = true
+	out := capture(t, func() error { return run(cfg) })
 	for _, want := range []string{"skyline points:", "happy points:", "hull points:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stats output missing %q: %q", want, out)
@@ -77,20 +89,94 @@ func TestRunStats(t *testing.T) {
 	}
 }
 
+// -concurrency routes the query through the serving engine and
+// reports the admission counters on exit.
+func TestRunConcurrency(t *testing.T) {
+	path := writeTestCSV(t)
+	cfg := queryCfg(path)
+	cfg.concurrency = 2
+	out := capture(t, func() error { return run(cfg) })
+	if !strings.Contains(out, "maximum regret ratio") {
+		t.Fatalf("engine run missing answer: %q", out)
+	}
+	if !strings.Contains(out, "engine: admitted=1 completed=1") {
+		t.Fatalf("engine run missing stats report: %q", out)
+	}
+}
+
+// -save-index builds and persists the snapshot; -load-index serves
+// from it; a corrupted snapshot is rebuilt, not fatal.
+func TestRunSaveAndLoadIndex(t *testing.T) {
+	path := writeTestCSV(t)
+	snap := filepath.Join(t.TempDir(), "idx.snap")
+
+	cfg := queryCfg(path)
+	cfg.saveIndex = snap
+	out := capture(t, func() error { return run(cfg) })
+	if !strings.Contains(out, "maximum regret ratio") {
+		t.Fatalf("save-index run missing answer: %q", out)
+	}
+	if !strings.Contains(out, "has been rebuilt") {
+		t.Fatalf("first save-index run should report a build: %q", out)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	cfg = queryCfg(path)
+	cfg.loadIndex = snap
+	out = capture(t, func() error { return run(cfg) })
+	if !strings.Contains(out, "maximum regret ratio") {
+		t.Fatalf("load-index run missing answer: %q", out)
+	}
+	if strings.Contains(out, "has been rebuilt") {
+		t.Fatalf("valid snapshot reported as rebuilt: %q", out)
+	}
+
+	// Corrupt the snapshot: the engine must rebuild and answer anyway.
+	info, err := os.Stat(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(snap, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	out = capture(t, func() error { return run(cfg) })
+	if !strings.Contains(out, "maximum regret ratio") {
+		t.Fatalf("corrupt-snapshot run missing answer: %q", out)
+	}
+	if !strings.Contains(out, "has been rebuilt") {
+		t.Fatalf("corrupt snapshot not reported as rebuilt: %q", out)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	path := writeTestCSV(t)
-	if err := run(path+".missing", 5, "geogreedy", "happy", false, 0); err == nil {
+	missing := queryCfg(path + ".missing")
+	if err := run(missing); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run(path, 5, "bogus", "happy", false, 0); err == nil {
+	badAlgo := queryCfg(path)
+	badAlgo.algo = "bogus"
+	if err := run(badAlgo); err == nil {
 		t.Fatal("bogus algorithm accepted")
 	}
-	if err := run(path, 5, "geogreedy", "bogus", false, 0); err == nil {
+	badCand := queryCfg(path)
+	badCand.cand = "bogus"
+	if err := run(badCand); err == nil {
 		t.Fatal("bogus candidate set accepted")
 	}
 	// A timeout too short for any work must surface the deadline as an
-	// error, not an answer.
-	if err := run(path, 5, "geogreedy", "happy", false, time.Nanosecond); !errors.Is(err, context.DeadlineExceeded) {
+	// error, not an answer. The direct path reports the deadline; the
+	// engine sheds the doomed request at admission instead of wasting
+	// a worker on it.
+	short := queryCfg(path)
+	short.timeout = time.Nanosecond
+	if err := run(short); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("1ns timeout: want context.DeadlineExceeded, got %v", err)
+	}
+	short.concurrency = 2
+	if err := run(short); !errors.Is(err, kregret.ErrShed) {
+		t.Fatalf("1ns engine timeout: want ErrShed, got %v", err)
 	}
 }

@@ -1,0 +1,321 @@
+package kregret
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Admission errors returned by Engine.Query. They alias the
+// internal/serve sentinels, so errors.Is works with either name; the
+// concrete error in the chain is a *serve.OverloadError carrying the
+// queue depth, capacity and worker count at the moment of the
+// decision.
+var (
+	// ErrOverloaded: the bounded wait queue was full; the request was
+	// shed before touching the geometry core.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrShed: the request's deadline had already expired (at
+	// admission or while it waited in the queue); no solver ran.
+	ErrShed = serve.ErrShed
+	// ErrShuttingDown: the engine no longer accepts queries.
+	ErrShuttingDown = serve.ErrShuttingDown
+)
+
+// EngineOption customizes NewEngine.
+type EngineOption func(*engineOptions)
+
+type engineOptions struct {
+	workers, queueDepth int
+	maxQueryTime        time.Duration
+	breakerThreshold    int
+	breakerCooldown     time.Duration
+	snapshotPath        string
+	queryOpts           []Option
+}
+
+// WithWorkers bounds how many queries execute concurrently (default
+// GOMAXPROCS). This is the hard cap on simultaneous solver work.
+func WithWorkers(n int) EngineOption { return func(o *engineOptions) { o.workers = n } }
+
+// WithQueueDepth bounds how many admitted queries may wait for a
+// worker (default twice the worker count). Requests beyond it are
+// shed with ErrOverloaded.
+func WithQueueDepth(n int) EngineOption { return func(o *engineOptions) { o.queueDepth = n } }
+
+// WithQueryTimeout caps the wall-clock budget of every query (default
+// none). The effective budget is the smaller of this cap and the
+// request's own deadline; it threads into the geometric hot loops via
+// the context-aware core entry points, so one pathological instance
+// cannot monopolize a worker past its budget.
+func WithQueryTimeout(d time.Duration) EngineOption {
+	return func(o *engineOptions) { o.maxQueryTime = d }
+}
+
+// WithBreaker tunes the circuit breakers around the numerical
+// fallback chain: threshold is the decayed failure score that trips a
+// breaker open, cooldown how long it stays open before a half-open
+// probe (and the score's half-life). Defaults: 5 failures, 10s.
+func WithBreaker(threshold int, cooldown time.Duration) EngineOption {
+	return func(o *engineOptions) {
+		o.breakerThreshold = threshold
+		o.breakerCooldown = cooldown
+	}
+}
+
+// WithSnapshot makes the engine serve index-backed queries from a
+// snapshot file: at startup the engine loads path, and when the file
+// is missing, corrupt (ErrCorruptIndex) or built from a different
+// dataset (ErrIndexMismatch) it rebuilds the StoredList from scratch
+// and atomically rewrites the snapshot instead of failing. The
+// rebuild is recorded in Stats().SnapshotRebuilt.
+func WithSnapshot(path string) EngineOption {
+	return func(o *engineOptions) { o.snapshotPath = path }
+}
+
+// WithQueryDefaults sets query options (algorithm, candidate set, …)
+// applied to every Engine.Query before the per-call options.
+func WithQueryDefaults(opts ...Option) EngineOption {
+	return func(o *engineOptions) { o.queryOpts = append(o.queryOpts, opts...) }
+}
+
+// EngineStats is a point-in-time snapshot of the serving counters.
+type EngineStats struct {
+	// Admission counters, from the worker pool: Admitted entered the
+	// queue; Completed ran; ShedOverload and ShedDeadline were
+	// dropped before any solver work (queue full / deadline already
+	// dead); Canceled were abandoned by their caller while queued;
+	// RejectedShutdown arrived after Shutdown. Queued and InFlight
+	// are current gauges.
+	Admitted, Completed              uint64
+	ShedOverload, ShedDeadline       uint64
+	Canceled, RejectedShutdown       uint64
+	Queued, InFlight                 int
+	Workers, QueueDepth              int
+	// Degraded counts answers produced by the numerical fallback
+	// chain; BreakerShortCircuits counts queries an open breaker
+	// routed straight to Cube without attempting the requested
+	// solver. Breakers maps each (algorithm/dim-bucket) key to its
+	// current state ("closed", "open", "half-open").
+	Degraded             uint64
+	BreakerShortCircuits uint64
+	Breakers             map[string]string
+	// SnapshotRebuilt reports that startup found the snapshot file
+	// missing, corrupt or mismatched and rebuilt the index.
+	SnapshotRebuilt bool
+}
+
+// Engine is the production serving layer around a Dataset: a bounded
+// worker pool with admission control and load shedding, per-query
+// wall-clock budgets, circuit breakers around the numerical fallback
+// chain, and optional crash-safe index snapshots. One Engine is meant
+// to serve many concurrent callers; all methods are safe for
+// concurrent use.
+//
+//	eng, err := kregret.NewEngine(ds, kregret.WithWorkers(8))
+//	defer eng.Shutdown(context.Background())
+//	ans, err := eng.Query(ctx, 10)
+type Engine struct {
+	ds       *Dataset
+	idx      *Index // non-nil only with WithSnapshot
+	pool     *serve.Pool
+	breakers *serve.BreakerSet
+	opts     engineOptions
+
+	degraded        atomic.Uint64
+	breakerShorts   atomic.Uint64
+	snapshotRebuilt bool
+}
+
+// NewEngine builds a serving engine over ds. With WithSnapshot it
+// also loads (or rebuilds) the StoredList index and serves default
+// queries from it in O(k).
+func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
+	if ds == nil {
+		return nil, errors.New("kregret: engine needs a dataset")
+	}
+	var o engineOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	e := &Engine{
+		ds:   ds,
+		opts: o,
+		breakers: serve.NewBreakerSet(serve.BreakerConfig{
+			Threshold: o.breakerThreshold,
+			Cooldown:  o.breakerCooldown,
+		}),
+	}
+	if o.snapshotPath != "" {
+		idx, rebuilt, err := loadOrRebuildIndex(ds, o.snapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		e.idx, e.snapshotRebuilt = idx, rebuilt
+	}
+	e.pool = serve.NewPool(serve.Config{Workers: o.workers, QueueDepth: o.queueDepth})
+	return e, nil
+}
+
+// loadOrRebuildIndex implements the crash-safe startup path: a
+// loadable snapshot wins; a missing, corrupt or mismatched one is
+// replaced by a fresh build written back atomically. Only unexpected
+// failures (I/O errors, a numerically failing build) propagate.
+func loadOrRebuildIndex(ds *Dataset, path string) (*Index, bool, error) {
+	idx, err := LoadFile(path, ds)
+	if err == nil {
+		return idx, false, nil
+	}
+	if !errors.Is(err, ErrCorruptIndex) && !errors.Is(err, ErrIndexMismatch) && !errors.Is(err, os.ErrNotExist) {
+		return nil, false, fmt.Errorf("kregret: engine snapshot: %w", err)
+	}
+	idx, berr := ds.BuildIndex()
+	if berr != nil {
+		return nil, false, fmt.Errorf("kregret: engine snapshot unusable (%v) and rebuild failed: %w", err, berr)
+	}
+	if serr := idx.SaveFile(path, ds); serr != nil {
+		return nil, false, fmt.Errorf("kregret: rewriting engine snapshot: %w", serr)
+	}
+	return idx, true, nil
+}
+
+// Query answers a k-regret query through the serving pipeline:
+// admission (shed on overload or a dead deadline), a per-query
+// wall-clock budget, then either the snapshot index (default-config
+// queries on an engine built WithSnapshot) or the full solver behind
+// its circuit breaker. While a breaker is open the query is routed
+// straight to the Cube fallback and the answer is marked Degraded
+// with the breaker named in FallbackReason.
+func (e *Engine) Query(ctx context.Context, k int, opts ...Option) (*Answer, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	all := append(append([]Option(nil), e.opts.queryOpts...), opts...)
+	var (
+		ans *Answer
+		err error
+	)
+	perr := e.pool.Do(ctx, func(jctx context.Context) {
+		ans, err = e.serve(jctx, k, all)
+	})
+	if perr != nil {
+		return nil, fmt.Errorf("kregret: %w", perr)
+	}
+	return ans, err
+}
+
+// serve runs one admitted query on a worker goroutine.
+func (e *Engine) serve(ctx context.Context, k int, opts []Option) (*Answer, error) {
+	if e.opts.maxQueryTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.maxQueryTime)
+		defer cancel()
+	}
+	o := defaultOptions()
+	for _, f := range opts {
+		f(&o)
+	}
+
+	// Default-config queries on a snapshot-backed engine are served
+	// from the materialized list in O(k) — no breaker needed, the
+	// index cannot fail numerically.
+	if e.idx != nil && o.algorithm == AlgoGeoGreedy && o.candidates == CandidatesHappy {
+		if ans, err := e.idx.Query(k); err == nil {
+			return ans, nil
+		}
+		// Partial index (BuildIndexUpTo) or k beyond it: fall through
+		// to the live solver.
+	}
+
+	br := e.breakers.For(breakerKey(o.algorithm, e.ds.Dim()))
+	if o.algorithm == AlgoCube {
+		// Cube is the floor of the fallback chain — non-adaptive
+		// arithmetic with nothing to break.
+		return e.ds.QueryContext(ctx, k, opts...)
+	}
+	if !br.Allow() {
+		ans, err := e.ds.QueryContext(ctx, k, append(opts, WithAlgorithm(AlgoCube))...)
+		if err != nil {
+			return nil, err
+		}
+		e.breakerShorts.Add(1)
+		e.degraded.Add(1)
+		ans.Degraded = true
+		ans.FallbackReason = fmt.Sprintf("circuit breaker open for %s: served by Cube without attempting %v",
+			breakerKey(o.algorithm, e.ds.Dim()), o.algorithm)
+		return ans, nil
+	}
+
+	ans, err := e.ds.QueryContext(ctx, k, opts...)
+	switch {
+	case err == nil && !ans.Degraded:
+		br.Record(true)
+	case err == nil: // degraded: the requested solver failed numerically
+		br.Record(false)
+		e.degraded.Add(1)
+	default:
+		var ne *NumericalError
+		if errors.As(err, &ne) {
+			br.Record(false)
+		}
+		// Cancellation and validation errors say nothing about the
+		// solver's numerical health; leave the breaker untouched.
+	}
+	return ans, err
+}
+
+// breakerKey buckets breakers by requested algorithm and dimension:
+// numerical degeneracy risk grows with dimension, so a storm at d=7
+// must not open the breaker for well-conditioned low-d traffic when
+// one engine serves heterogeneous query options.
+func breakerKey(alg Algorithm, dim int) string {
+	bucket := dim
+	if bucket > 8 {
+		bucket = 8
+	}
+	return fmt.Sprintf("%v/d%d", alg, bucket)
+}
+
+// Stats snapshots the serving counters.
+func (e *Engine) Stats() EngineStats {
+	ps := e.pool.Stats()
+	states := e.breakers.States()
+	breakers := make(map[string]string, len(states))
+	for k, s := range states {
+		breakers[k] = s.String()
+	}
+	return EngineStats{
+		Admitted:             ps.Admitted,
+		Completed:            ps.Completed,
+		ShedOverload:         ps.ShedOverload,
+		ShedDeadline:         ps.ShedDeadline,
+		Canceled:             ps.Canceled,
+		RejectedShutdown:     ps.RejectedShutdown,
+		Queued:               ps.Queued,
+		InFlight:             ps.InFlight,
+		Workers:              ps.Workers,
+		QueueDepth:           ps.QueueDepth,
+		Degraded:             e.degraded.Load(),
+		BreakerShortCircuits: e.breakerShorts.Load(),
+		Breakers:             breakers,
+		SnapshotRebuilt:      e.snapshotRebuilt,
+	}
+}
+
+// Shutdown stops admissions (new queries return ErrShuttingDown),
+// drains the queued and in-flight queries, and returns once the
+// engine is idle — or ctx.Err() if ctx ends first, in which case the
+// drain continues in the background and Shutdown may be called again.
+// Safe to call multiple times; a post-shutdown Query never blocks.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	return e.pool.Shutdown(ctx)
+}
+
+// Index returns the snapshot-backed index, or nil when the engine was
+// built without WithSnapshot.
+func (e *Engine) Index() *Index { return e.idx }

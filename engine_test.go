@@ -1,0 +1,278 @@
+package kregret
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testEngine(t *testing.T, opts ...EngineOption) (*Engine, *Dataset) {
+	t.Helper()
+	ds, err := NewDataset(testPoints(200, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ds
+}
+
+// TestEngineStress is the acceptance stress: ≥200 concurrent queries
+// against a pool of 4 workers and a queue of 8. Every request must be
+// answered, shed with ErrOverloaded/ErrShed, or canceled — none lost
+// — with zero data races (the suite runs under -race).
+func TestEngineStress(t *testing.T) {
+	eng, ds := testEngine(t, WithWorkers(4), WithQueueDepth(8))
+	defer func() {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	const n = 200
+	var (
+		answered, overloaded, shed, canceled atomic.Int64
+		wg                                   sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%4 == 3 { // a quarter arrive with tight or dead deadlines
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(i%3)*time.Millisecond)
+				defer cancel()
+			}
+			ans, err := eng.Query(ctx, 1+i%6)
+			switch {
+			case err == nil:
+				if len(ans.Indices) == 0 || ans.MRR < 0 || ans.MRR > 1 {
+					t.Errorf("bad answer under load: %+v", ans)
+				}
+				answered.Add(1)
+			case errors.Is(err, ErrOverloaded):
+				overloaded.Add(1)
+			case errors.Is(err, ErrShed):
+				shed.Add(1)
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				canceled.Add(1)
+			default:
+				t.Errorf("unclassified outcome: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := answered.Load() + overloaded.Load() + shed.Load() + canceled.Load()
+	if total != n {
+		t.Fatalf("classified %d of %d requests (answered=%d overloaded=%d shed=%d canceled=%d)",
+			total, n, answered.Load(), overloaded.Load(), shed.Load(), canceled.Load())
+	}
+	if answered.Load() == 0 {
+		t.Fatal("no request was answered under load")
+	}
+	s := eng.Stats()
+	accounted := s.Completed + s.ShedOverload + s.ShedDeadline + s.Canceled + s.RejectedShutdown
+	if accounted != n {
+		t.Fatalf("engine stats account for %d of %d requests: %+v", accounted, n, s)
+	}
+	// The dataset answers identically after the storm.
+	if _, err := ds.Query(3); err != nil {
+		t.Fatalf("dataset unusable after stress: %v", err)
+	}
+}
+
+func TestEngineQueryMatchesDataset(t *testing.T) {
+	eng, ds := testEngine(t)
+	defer func() {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	want, err := ds.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Query(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MRR != want.MRR || len(got.Indices) != len(want.Indices) {
+		t.Fatalf("engine answer %+v diverges from dataset answer %+v", got, want)
+	}
+	if got.Degraded {
+		t.Fatalf("healthy engine query marked degraded: %+v", got)
+	}
+	// Per-call options pass through.
+	greedy, err := eng.Query(context.Background(), 5, WithAlgorithm(AlgoGreedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Algorithm != AlgoGreedy {
+		t.Fatalf("per-call algorithm ignored: %+v", greedy)
+	}
+	if _, err := eng.Query(context.Background(), 0); !errors.Is(err, ErrBadK) {
+		t.Fatalf("k=0 accepted: %v", err)
+	}
+}
+
+func TestEngineQueryTimeoutBudget(t *testing.T) {
+	// A per-query budget far too small for this dataset must surface
+	// as a deadline error even though the caller set no deadline.
+	ds, err := NewDataset(spherePoints(2000, 7, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds, WithWorkers(1), WithQueryTimeout(50*time.Millisecond),
+		WithQueryDefaults(WithCandidates(CandidatesAll)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	start := time.Now()
+	_, err = eng.Query(context.Background(), 80)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from the query budget, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("budget took %v to bite", elapsed)
+	}
+}
+
+func TestEngineSnapshotStartup(t *testing.T) {
+	ds, err := NewDataset(testPoints(200, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.snap")
+
+	// First startup: no file → rebuild and write it.
+	eng1, err := NewEngine(ds, WithSnapshot(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng1.Stats().SnapshotRebuilt {
+		t.Fatal("first startup should report a rebuild")
+	}
+	ans1, err := eng1.Query(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second startup: loads the snapshot, no rebuild.
+	eng2, err := NewEngine(ds, WithSnapshot(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng2.Stats().SnapshotRebuilt {
+		t.Fatal("second startup rebuilt despite a valid snapshot")
+	}
+	if eng2.Index() == nil {
+		t.Fatal("snapshot engine has no index")
+	}
+	ans2, err := eng2.Query(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans1.MRR != ans2.MRR {
+		t.Fatalf("snapshot answer MRR %v != rebuilt answer MRR %v", ans2.MRR, ans1.MRR)
+	}
+	// Index fast path must agree with the live solver.
+	live, err := ds.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans2.MRR != live.MRR {
+		t.Fatalf("indexed MRR %v != live MRR %v", ans2.MRR, live.MRR)
+	}
+	if err := eng2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the snapshot: startup must fall back to a rebuild, not
+	// fail, and must repair the file on disk.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	eng3, err := NewEngine(ds, WithSnapshot(path))
+	if err != nil {
+		t.Fatalf("corrupt snapshot killed startup: %v", err)
+	}
+	if !eng3.Stats().SnapshotRebuilt {
+		t.Fatal("corrupt snapshot not reported as rebuilt")
+	}
+	if err := eng3.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, ds); err != nil {
+		t.Fatalf("snapshot not repaired after rebuild: %v", err)
+	}
+}
+
+func TestEngineSnapshotMismatchRebuilds(t *testing.T) {
+	ds, err := NewDataset(testPoints(200, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewDataset(testPoints(150, 3, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	idx, err := other.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.SaveFile(path, other); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds, WithSnapshot(path))
+	if err != nil {
+		t.Fatalf("mismatched snapshot killed startup: %v", err)
+	}
+	if !eng.Stats().SnapshotRebuilt {
+		t.Fatal("mismatched snapshot not rebuilt")
+	}
+	if err := eng.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineStatsShape(t *testing.T) {
+	eng, _ := testEngine(t, WithWorkers(3), WithQueueDepth(7))
+	defer func() {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if _, err := eng.Query(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.Workers != 3 || s.QueueDepth != 7 {
+		t.Fatalf("config not echoed: %+v", s)
+	}
+	if s.Admitted != 1 || s.Completed != 1 {
+		t.Fatalf("counters wrong after one query: %+v", s)
+	}
+	if state := s.Breakers[breakerKey(AlgoGeoGreedy, 3)]; state != "closed" {
+		t.Fatalf("breaker state %q, want closed (%v)", state, s.Breakers)
+	}
+}

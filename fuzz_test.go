@@ -1,6 +1,7 @@
 package kregret
 
 import (
+	"bytes"
 	"encoding/binary"
 	"math"
 	"testing"
@@ -141,6 +142,57 @@ func FuzzQuery(f *testing.F) {
 		}
 		if math.IsNaN(mrr) || mrr < 0 || mrr > 1+1e-9 {
 			t.Fatalf("re-evaluated MRR %v outside [0, 1]", mrr)
+		}
+	})
+}
+
+// FuzzLoadIndex feeds the snapshot decoder valid snapshots, mutated
+// snapshots and raw garbage: the only acceptable outcomes are a typed
+// error or an index whose answers validate — never a panic, never an
+// index with out-of-range candidates.
+func FuzzLoadIndex(f *testing.F) {
+	ds, err := NewDataset(testPoints(40, 3, 6))
+	if err != nil {
+		f.Fatal(err)
+	}
+	idx, err := ds.BuildIndex()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf, ds); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0xff // bit-flipped payload
+	f.Add(flipped)
+	f.Add(valid[:3])                     // shorter than the magic
+	f.Add([]byte("KRGXgarbage after magic"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := LoadIndex(bytes.NewReader(data), ds)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must answer like a real index.
+		ans, err := loaded.Query(3)
+		if err != nil {
+			return
+		}
+		if len(ans.Indices) == 0 || len(ans.Indices) > 3 {
+			t.Fatalf("loaded index answered with %d tuples for k=3", len(ans.Indices))
+		}
+		for _, i := range ans.Indices {
+			if i < 0 || i >= ds.Len() {
+				t.Fatalf("loaded index references tuple %d of %d", i, ds.Len())
+			}
+		}
+		if math.IsNaN(ans.MRR) || ans.MRR < 0 || ans.MRR > 1+1e-9 {
+			t.Fatalf("loaded index MRR %v outside [0, 1]", ans.MRR)
 		}
 	})
 }

@@ -77,3 +77,28 @@ func fallbackChain() (string, error) {
 func joinDropped(a, b error) {
 	errors.Join(a, b) // want: errdrop
 }
+
+// atomicSaveCleanup mirrors the persistence layer's write-to-temp +
+// atomic-rename idiom: on any failure the temp file is removed and
+// the removal's own error is joined into the one returned, so neither
+// the primary failure nor a leaked temp file goes unreported. Every
+// error flows through errors.Join into the return value: clean.
+func atomicSaveCleanup(path string, payload string) error {
+	tmp, err := os.CreateTemp("", "snapshot-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.WriteString(payload); err != nil {
+		return errors.Join(err, tmp.Close(), os.Remove(tmp.Name()))
+	}
+	if err := tmp.Sync(); err != nil {
+		return errors.Join(err, tmp.Close(), os.Remove(tmp.Name()))
+	}
+	if err := tmp.Close(); err != nil {
+		return errors.Join(err, os.Remove(tmp.Name()))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return errors.Join(err, os.Remove(tmp.Name()))
+	}
+	return nil
+}

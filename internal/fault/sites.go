@@ -49,4 +49,20 @@ const (
 	// SiteGeoGreedyPanic panics inside the geometry core on the next
 	// GeoGreedy iteration, exercising the public panic boundary.
 	SiteGeoGreedyPanic = "core.geogreedy.panic"
+
+	// SiteServeQueueFull makes the next serve.Pool admission behave as
+	// if the wait queue were full, forcing the ErrOverloaded path
+	// without actually saturating the pool.
+	SiteServeQueueFull = "serve.queue-full"
+
+	// SiteServeBreakerTrip forces the next serve.Breaker.Allow to trip
+	// the breaker open, so the open → half-open → closed cycle can be
+	// driven without a storm of real numerical failures.
+	SiteServeBreakerTrip = "serve.breaker-trip"
+
+	// SitePersistTornWrite truncates the snapshot file after
+	// Index.SaveFile renames it into place, simulating a crash that
+	// tore the write — the corruption LoadFile must detect as
+	// ErrCorruptIndex.
+	SitePersistTornWrite = "persist.torn-write"
 )

@@ -1,0 +1,69 @@
+//go:build kregretfault
+
+// Fault-injection tests for the serving layer: the queue-overflow and
+// breaker-trip sites must be provably wired, since release builds
+// compile them out.
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func TestFaultQueueFull(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	p := NewPool(Config{Workers: 2, QueueDepth: 8})
+	defer func() {
+		if err := p.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	fault.Arm(fault.SiteServeQueueFull, 1)
+	err := p.Do(context.Background(), func(context.Context) { t.Error("job ran through a full queue") })
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded from armed queue-full site, got %v", err)
+	}
+	if got := fault.Fired(fault.SiteServeQueueFull); got != 1 {
+		t.Fatalf("queue-full site fired %d times, want 1", got)
+	}
+	// The next request sails through an empty pool.
+	if err := p.Do(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatalf("post-injection request failed: %v", err)
+	}
+}
+
+func TestFaultBreakerTripCycle(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 100, Cooldown: time.Second, Now: clk.now})
+
+	fault.Arm(fault.SiteServeBreakerTrip, 1)
+	if b.Allow() {
+		t.Fatal("armed trip site did not open the breaker")
+	}
+	if got := fault.Fired(fault.SiteServeBreakerTrip); got != 1 {
+		t.Fatalf("breaker-trip site fired %d times, want 1", got)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after forced trip, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request")
+	}
+	// Forced trips heal the same way organic ones do.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open probe refused after forced trip")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after probe success, want closed", b.State())
+	}
+}

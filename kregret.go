@@ -37,6 +37,20 @@
 // Answer.FallbackReason (opt out with WithoutFallback). See
 // DESIGN.md §9 for the full failure model.
 //
+// # Serving
+//
+// For many concurrent callers, NewEngine wraps a Dataset in a serving
+// layer: a bounded worker pool with a bounded wait queue sheds
+// over-capacity work (ErrOverloaded) and deadline-doomed work
+// (ErrShed) before any geometry runs, per-query wall-clock budgets
+// ride the context plumbing, and per-(algorithm, dimension) circuit
+// breakers route repeated numerical degradations straight to the Cube
+// fallback until a cooldown probe succeeds. Index snapshots persist
+// crash-safely (SaveFile/LoadFile: atomic rename + fsync + CRC-32C
+// trailer, damage surfacing as ErrCorruptIndex), and an Engine built
+// with WithSnapshot falls back from a corrupt snapshot to a rebuild.
+// See DESIGN.md §10 for the serving model.
+//
 // See the examples directory for complete programs and DESIGN.md for
 // the geometry behind the implementation.
 package kregret

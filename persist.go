@@ -1,24 +1,68 @@
 package kregret
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
-// ErrIndexMismatch is returned by LoadIndex when the serialized index
-// was built from a different dataset than the one supplied.
-var ErrIndexMismatch = errors.New("kregret: index does not match dataset")
+// Errors returned by the persistence layer.
+var (
+	// ErrIndexMismatch is returned by LoadIndex when the serialized
+	// index was built from a different dataset than the one supplied.
+	ErrIndexMismatch = errors.New("kregret: index does not match dataset")
+
+	// ErrCorruptIndex is returned by LoadIndex/LoadFile when the
+	// snapshot bytes are damaged — truncated, bit-flipped, or not a
+	// snapshot at all. A corrupt snapshot is always reported as this
+	// typed error (never a panic, never a silently-wrong index), so
+	// callers can fall back to rebuilding the StoredList.
+	ErrCorruptIndex = errors.New("kregret: corrupt index snapshot")
+)
+
+// Snapshot wire format v2 (the current write format):
+//
+//	offset 0  magic "KRGX" (4 bytes)
+//	       4  format version (1 byte, currently 2)
+//	       5  payload length (uint64 little-endian)
+//	      13  payload: the v1 body — gob(indexWire) ++ gob(StoredList)
+//	  13+len  CRC-32C over bytes [0, 13+len) (uint32 little-endian)
+//
+// The CRC trailer covers the header and both gob streams together, so
+// a truncation or bit flip anywhere in the file — including inside
+// the second stream, which v1 could not protect — surfaces as
+// ErrCorruptIndex before any gob decoding happens. Version 1 files
+// (bare concatenated gob streams, no frame) are still readable: they
+// cannot begin with the magic because a gob stream's first byte is a
+// small message length, and 'K' (0x4b) would imply a 75-byte first
+// message where the indexWire type definition is longer.
+const (
+	snapshotMagic   = "KRGX"
+	snapshotVersion = 2
+	snapshotHdrLen  = 4 + 1 + 8
+	// maxSnapshotPayload caps the framed payload length so a corrupt
+	// length field cannot drive an allocation of attacker-chosen size.
+	maxSnapshotPayload = 1 << 32
+)
+
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // indexWire is the gob envelope around a stored list: the happy
 // candidate mapping plus a checksum binding the index to the dataset
-// it was built from.
+// it was built from. Its Version field versions the payload schema,
+// independent of the outer frame version.
 type indexWire struct {
 	Version  int
 	Checksum uint64
@@ -44,9 +88,12 @@ func (d *Dataset) checksum() uint64 {
 
 // Save serializes the index so later processes can skip the expensive
 // StoredList preprocessing. The dataset itself is not stored; load
-// with LoadIndex against an identically-constructed Dataset.
+// with LoadIndex against an identically-constructed Dataset. The
+// stream is framed with a CRC-32C trailer (format v2) so corruption
+// is detectable on load; use SaveFile for crash-safe writes to disk.
 func (x *Index) Save(w io.Writer, d *Dataset) error {
-	if err := gob.NewEncoder(w).Encode(indexWire{
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(indexWire{
 		Version:  indexVersion,
 		Checksum: d.checksum(),
 		N:        d.Len(),
@@ -55,18 +102,81 @@ func (x *Index) Save(w io.Writer, d *Dataset) error {
 	}); err != nil {
 		return fmt.Errorf("kregret: saving index: %w", err)
 	}
-	if err := x.list.Save(w); err != nil {
+	if err := x.list.Save(&payload); err != nil {
 		return fmt.Errorf("kregret: saving index list: %w", err)
+	}
+
+	frame := make([]byte, snapshotHdrLen, snapshotHdrLen+payload.Len()+4)
+	copy(frame, snapshotMagic)
+	frame[4] = snapshotVersion
+	binary.LittleEndian.PutUint64(frame[5:], uint64(payload.Len()))
+	frame = append(frame, payload.Bytes()...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(frame, snapshotCRC))
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("kregret: saving index: %w", err)
 	}
 	return nil
 }
 
-// LoadIndex restores an index saved with Index.Save, verifying that
-// it was built from exactly the given dataset (content checksum).
+// LoadIndex restores an index saved with Index.Save, verifying both
+// the snapshot integrity (CRC trailer; damage comes back as
+// ErrCorruptIndex) and that it was built from exactly the given
+// dataset (content checksum; mismatch comes back as
+// ErrIndexMismatch). Version-1 snapshots written before the CRC frame
+// existed still load.
 func LoadIndex(r io.Reader, d *Dataset) (*Index, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(snapshotMagic))
+	if err != nil {
+		// Not even a magic's worth of bytes: neither format can be
+		// this short.
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorruptIndex, err)
+	}
+	if string(head) == snapshotMagic {
+		return loadFramed(br, d)
+	}
+	// Legacy v1: two bare gob streams, no integrity trailer.
+	return decodeIndexPayload(br, d)
+}
+
+// loadFramed reads a v2 frame, verifies the CRC trailer, and decodes
+// the payload. Any framing or integrity violation is ErrCorruptIndex.
+func loadFramed(br *bufio.Reader, d *Dataset) (*Index, error) {
+	hdr := make([]byte, snapshotHdrLen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorruptIndex, err)
+	}
+	if v := hdr[4]; v != snapshotVersion {
+		return nil, fmt.Errorf("kregret: index snapshot format v%d, want v%d", v, snapshotVersion)
+	}
+	n := binary.LittleEndian.Uint64(hdr[5:])
+	if n > maxSnapshotPayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorruptIndex, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorruptIndex, err)
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing CRC trailer: %v", ErrCorruptIndex, err)
+	}
+	crc := crc32.Checksum(hdr, snapshotCRC)
+	crc = crc32.Update(crc, snapshotCRC, payload)
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != crc {
+		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrCorruptIndex, got, crc)
+	}
+	return decodeIndexPayload(bytes.NewReader(payload), d)
+}
+
+// decodeIndexPayload decodes the two gob streams shared by both
+// formats and validates them against the dataset. Decode failures are
+// corruption; a clean decode that names a different dataset is
+// ErrIndexMismatch.
+func decodeIndexPayload(r io.Reader, d *Dataset) (*Index, error) {
 	var wire indexWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("kregret: loading index: %w", err)
+		return nil, fmt.Errorf("%w: decoding index: %v", ErrCorruptIndex, err)
 	}
 	if wire.Version != indexVersion {
 		return nil, fmt.Errorf("kregret: index version %d, want %d", wire.Version, indexVersion)
@@ -76,12 +186,91 @@ func LoadIndex(r io.Reader, d *Dataset) (*Index, error) {
 	}
 	for _, c := range wire.Cand {
 		if c < 0 || c >= d.Len() {
-			return nil, fmt.Errorf("kregret: index candidate %d out of range", c)
+			return nil, fmt.Errorf("%w: index candidate %d out of range", ErrCorruptIndex, c)
 		}
 	}
 	list, err := core.LoadStoredList(r)
 	if err != nil {
-		return nil, fmt.Errorf("kregret: loading index: %w", err)
+		return nil, fmt.Errorf("%w: loading index list: %v", ErrCorruptIndex, err)
 	}
 	return &Index{list: list, cand: wire.Cand}, nil
+}
+
+// SaveFile writes the index snapshot to path crash-safely: the bytes
+// go to a temporary file in the same directory, are fsynced, and the
+// temp file is atomically renamed over path (whose directory is then
+// fsynced). A crash at any point leaves either the old file or the
+// complete new one — never a torn snapshot — and a torn write that
+// slips through anyway (disk lying about sync) is caught by the CRC
+// on load.
+func (x *Index) SaveFile(path string, d *Dataset) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".kregret-index-*")
+	if err != nil {
+		return fmt.Errorf("kregret: saving index snapshot: %w", err)
+	}
+	if err := x.Save(tmp, d); err != nil {
+		return errors.Join(err, tmp.Close(), os.Remove(tmp.Name()))
+	}
+	if err := tmp.Sync(); err != nil {
+		err = fmt.Errorf("kregret: syncing index snapshot: %w", err)
+		return errors.Join(err, tmp.Close(), os.Remove(tmp.Name()))
+	}
+	if err := tmp.Close(); err != nil {
+		err = fmt.Errorf("kregret: closing index snapshot: %w", err)
+		return errors.Join(err, os.Remove(tmp.Name()))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		err = fmt.Errorf("kregret: publishing index snapshot: %w", err)
+		return errors.Join(err, os.Remove(tmp.Name()))
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("kregret: syncing snapshot directory: %w", err)
+	}
+	if fault.Enabled && fault.Active(fault.SitePersistTornWrite) {
+		tearFile(path)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so the rename that published a snapshot
+// is itself durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
+
+// tearFile truncates a published snapshot to half its size — the
+// fault-injection model of a crash that tore the write despite the
+// atomic-rename protocol (e.g. a device that acknowledged the sync
+// without persisting). Only reachable under the kregretfault tag.
+func tearFile(path string) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	//kregret:allow errdrop: fault injection is best-effort by design
+	os.Truncate(path, info.Size()/2)
+}
+
+// LoadFile restores an index snapshot written by SaveFile (or any
+// Save output on disk). Corruption is ErrCorruptIndex, a snapshot of
+// a different dataset is ErrIndexMismatch, and a missing file is the
+// underlying fs error (check with os.IsNotExist / errors.Is).
+func LoadFile(path string, d *Dataset) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("kregret: loading index snapshot: %w", err)
+	}
+	idx, err := LoadIndex(f, d)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		return nil, fmt.Errorf("kregret: closing index snapshot: %w", cerr)
+	}
+	return idx, err
 }

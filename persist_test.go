@@ -1,0 +1,186 @@
+package kregret
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snapshotFixture(t *testing.T) (*Dataset, *Index, []byte) {
+	t.Helper()
+	ds, err := NewDataset(testPoints(80, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := ds.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	return ds, idx, buf.Bytes()
+}
+
+// TestSnapshotTruncationEveryByte is the durability regression the
+// CRC frame exists for: a snapshot cut at ANY byte boundary must come
+// back as ErrCorruptIndex — never a panic, never a silently-wrong
+// index. Before the frame, a truncation inside the second gob stream
+// could decode into garbage or an opaque gob error.
+func TestSnapshotTruncationEveryByte(t *testing.T) {
+	ds, _, snap := snapshotFixture(t)
+	for i := 0; i < len(snap); i++ {
+		idx, err := LoadIndex(bytes.NewReader(snap[:i]), ds)
+		if idx != nil {
+			t.Fatalf("truncation at byte %d of %d produced an index", i, len(snap))
+		}
+		if !errors.Is(err, ErrCorruptIndex) {
+			t.Fatalf("truncation at byte %d of %d: want ErrCorruptIndex, got %v", i, len(snap), err)
+		}
+	}
+	// The untruncated snapshot still loads.
+	if _, err := LoadIndex(bytes.NewReader(snap), ds); err != nil {
+		t.Fatalf("full snapshot failed to load: %v", err)
+	}
+}
+
+// Every single-byte corruption must be detected. Byte 4 is the frame
+// version and gets its own error; everywhere else the CRC (or, for
+// the magic, the legacy-path gob decoder) reports corruption.
+func TestSnapshotBitFlipEveryByte(t *testing.T) {
+	ds, _, snap := snapshotFixture(t)
+	for i := 0; i < len(snap); i++ {
+		mutated := append([]byte(nil), snap...)
+		mutated[i] ^= 0xa5
+		idx, err := LoadIndex(bytes.NewReader(mutated), ds)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d of %d accepted (index=%v)", i, len(snap), idx != nil)
+		}
+		if i == 4 {
+			if !strings.Contains(err.Error(), "format") {
+				t.Fatalf("version-byte flip: want a format-version error, got %v", err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrCorruptIndex) {
+			t.Fatalf("bit flip at byte %d of %d: want ErrCorruptIndex, got %v", i, len(snap), err)
+		}
+	}
+}
+
+// Snapshots written by the pre-frame v1 code (two bare gob streams)
+// must still load. The test reconstructs the exact v1 byte layout.
+func TestSnapshotV1ReadCompatibility(t *testing.T) {
+	ds, idx, _ := snapshotFixture(t)
+	var v1 bytes.Buffer
+	if err := gob.NewEncoder(&v1).Encode(indexWire{
+		Version:  indexVersion,
+		Checksum: ds.checksum(),
+		N:        ds.Len(),
+		Dim:      ds.Dim(),
+		Cand:     idx.cand,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.list.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: a legacy stream must not look framed.
+	if bytes.HasPrefix(v1.Bytes(), []byte(snapshotMagic)) {
+		t.Fatal("legacy gob stream collides with the snapshot magic")
+	}
+	loaded, err := LoadIndex(bytes.NewReader(v1.Bytes()), ds)
+	if err != nil {
+		t.Fatalf("v1 snapshot failed to load: %v", err)
+	}
+	want, err := idx.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.MRR != got.MRR {
+		t.Fatalf("v1-loaded index answers differently: %v vs %v", got.MRR, want.MRR)
+	}
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	ds, idx, _ := snapshotFixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.snap")
+	if err := idx.SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := idx.Query(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Query(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.MRR != got.MRR {
+		t.Fatalf("file round trip changed the answer: %v vs %v", got.MRR, want.MRR)
+	}
+	// Overwriting an existing snapshot is atomic, not additive.
+	if err := idx.SaveFile(path, ds); err != nil {
+		t.Fatalf("overwrite failed: %v", err)
+	}
+	if _, err := LoadFile(path, ds); err != nil {
+		t.Fatalf("overwritten snapshot corrupt: %v", err)
+	}
+	// No temp-file litter.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("snapshot dir littered: %v", names)
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	ds, idx, _ := snapshotFixture(t)
+	dir := t.TempDir()
+
+	if _, err := LoadFile(filepath.Join(dir, "nope.snap"), ds); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: want ErrNotExist, got %v", err)
+	}
+
+	// A snapshot of a different dataset is a mismatch, not corruption.
+	other, err := NewDataset(testPoints(60, 3, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "idx.snap")
+	if err := idx.SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, other); !errors.Is(err, ErrIndexMismatch) {
+		t.Fatalf("want ErrIndexMismatch, got %v", err)
+	}
+
+	// Garbage on disk is corruption.
+	garbage := filepath.Join(dir, "garbage.snap")
+	if err := os.WriteFile(garbage, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(garbage, ds); !errors.Is(err, ErrCorruptIndex) {
+		t.Fatalf("want ErrCorruptIndex for garbage, got %v", err)
+	}
+}

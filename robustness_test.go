@@ -266,3 +266,75 @@ func TestQueryContextMatchesQuery(t *testing.T) {
 		t.Fatalf("algorithm mislabeled: %v", ctxAns.Algorithm)
 	}
 }
+
+// Engine lifecycle: Shutdown drains in-flight queries, rejects new
+// ones with ErrShuttingDown, and a post-shutdown Query returns
+// immediately — it must never deadlock (guarded by a watchdog).
+func TestEngineShutdownLifecycle(t *testing.T) {
+	ds, err := NewDataset(spherePoints(2000, 7, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds, WithWorkers(2), WithQueueDepth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Launch in-flight work that takes real time (seconds of GeoGreedy
+	// on this dataset, bounded by its own deadline).
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	inflight := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := eng.Query(ctx, 80, WithCandidates(CandidatesAll))
+			inflight <- err
+		}()
+	}
+	// Wait until both queries are actually running.
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Stats().InFlight < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queries never started: %+v", eng.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := eng.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown did not drain cleanly: %v", err)
+	}
+	// Drained means the in-flight queries finished (here: hit their
+	// own deadline) by the time Shutdown returned; the callers may
+	// need a scheduler beat to observe it.
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-inflight:
+			if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("drained query returned %v", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("Shutdown returned before an in-flight query finished")
+		}
+	}
+
+	// New queries are rejected, and never block.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := eng.Query(context.Background(), 5); !errors.Is(err, ErrShuttingDown) {
+			t.Errorf("post-shutdown query: want ErrShuttingDown, got %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-shutdown Query deadlocked")
+	}
+	if eng.Stats().RejectedShutdown == 0 {
+		t.Fatalf("rejection not counted: %+v", eng.Stats())
+	}
+	// Shutdown is idempotent.
+	if err := eng.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
