@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet kregret-vet test test-race test-debug test-fault test-serve fuzz-smoke check
+.PHONY: build vet kregret-vet test test-race test-debug test-fault test-serve fuzz-smoke bench bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -51,4 +51,23 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzQuery -fuzztime=10s .
 	$(GO) test -run=^$$ -fuzz=FuzzLoadIndex -fuzztime=10s .
 
-check: build vet kregret-vet test-race test-debug test-fault test-serve
+# Performance baseline: runs BenchmarkPaper at parallelism 1 and
+# GOMAXPROCS and writes BENCH_<rev>.json (ns/op, allocs/op, speedup).
+# Compare the json against the previous revision's before merging perf
+# work; the interesting regressions are allocs/op (the scratch pools)
+# and the sequential ns/op (parallelism must not tax workers=1).
+bench:
+	$(GO) run ./cmd/benchbaseline
+
+# Same harness at toy size: proves the flag plumbing, the bench run
+# and the json writer end to end in seconds, then asserts sequential
+# and parallel runs return identical answers (the differential
+# determinism suite). Part of `make check`; the ns/op numbers
+# themselves are meaningless at this scale.
+bench-smoke:
+	$(GO) run ./cmd/benchbaseline -n 4000 -benchtime 1x -parallelism 4 \
+		-out /tmp/kregret_bench_smoke.json
+	$(GO) test -count=1 -run 'ParallelMatch|ParallelExhaustion|EngineParallelism' \
+		./internal/core .
+
+check: build vet kregret-vet test-race test-debug test-fault test-serve bench-smoke

@@ -1,0 +1,116 @@
+package kregret
+
+// BenchmarkPaper is the baseline suite behind `make bench`: the
+// paper-scale hot paths (GeoGreedy at n=100k d=4, the exact and
+// sampled evaluators, the candidate preprocessing) with the worker
+// count taken from the -kregret.parallelism flag, so one binary
+// measures both the sequential path and any fan-out width.
+// cmd/benchbaseline runs it at parallelism 1 and N, diffs ns/op and
+// allocs/op, and writes BENCH_<rev>.json.
+
+import (
+	"context"
+	"flag"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/happy"
+	"repro/internal/skyline"
+)
+
+var (
+	benchParallelism = flag.Int("kregret.parallelism", 1,
+		"worker count for BenchmarkPaper (1 = exact sequential path, 0 = process default)")
+	benchPaperN = flag.Int("kregret.benchn", 100000,
+		"dataset size for BenchmarkPaper (lower it for smoke runs)")
+)
+
+const benchPaperD = 4
+
+var (
+	paperOnce sync.Once
+	paperPts  []geom.Vector
+	paperSel  []int
+	paperErr  error
+)
+
+// paperInstance builds the shared BenchmarkPaper fixture once: the
+// anti-correlated instance and a reference selection to evaluate.
+func paperInstance(b *testing.B) ([]geom.Vector, []int) {
+	b.Helper()
+	paperOnce.Do(func() {
+		paperPts, paperErr = dataset.AntiCorrelated(*benchPaperN, benchPaperD, 20140331)
+		if paperErr != nil {
+			return
+		}
+		var res *core.Result
+		res, paperErr = core.GeoGreedyParCtx(context.Background(), paperPts, 20, *benchParallelism)
+		if paperErr != nil {
+			return
+		}
+		paperSel = res.Indices
+	})
+	if paperErr != nil {
+		b.Fatal(paperErr)
+	}
+	return paperPts, paperSel
+}
+
+func BenchmarkPaper(b *testing.B) {
+	ctx := context.Background()
+	w := *benchParallelism
+	pts, sel := paperInstance(b)
+
+	b.Run("GeoGreedy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.GeoGreedyParCtx(ctx, pts, 50, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MRRGeometric", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MRRGeometricParCtx(ctx, pts, sel, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MRRSampled1k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MRRSampledParCtx(ctx, pts, sel, 1000, 1, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Preprocess", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sky, err := skyline.ComputeParallel(pts, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			happy.ComputeAmongSkylineParallel(pts, sky, w)
+		}
+	})
+	b.Run("Greedy", func(b *testing.B) {
+		// Greedy is LP-per-candidate and would take minutes at 100k;
+		// bench a fixed-size slice so the suite stays minutes-total
+		// while still exposing the per-candidate LP fan-out.
+		n := len(pts)
+		if n > 2000 {
+			n = 2000
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.GreedyParCtx(ctx, pts[:n], 10, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

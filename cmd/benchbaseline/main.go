@@ -1,0 +1,212 @@
+// Command benchbaseline records a performance baseline for the
+// parallel geometric core: it runs the BenchmarkPaper suite twice —
+// once at parallelism 1 (the exact sequential path) and once at the
+// requested width — parses the `go test -bench` output, and writes a
+// BENCH_<rev>.json with ns/op, B/op, allocs/op and the per-benchmark
+// speedup. CI and `make bench` both go through this binary so every
+// revision's numbers land in the same machine-readable shape.
+//
+// Usage:
+//
+//	go run ./cmd/benchbaseline [-parallelism N] [-n 100000] \
+//	    [-benchtime 2x] [-bench Paper] [-out BENCH_<rev>.json]
+//
+// The -n flag feeds the suite's -kregret.benchn dataset size; smoke
+// runs (make bench-smoke) lower it so the suite finishes in seconds
+// and merely proves the harness end to end.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type entry struct {
+	Name string      `json:"name"`
+	Seq  measurement `json:"sequential"`
+	Par  measurement `json:"parallel"`
+	// Speedup is seq ns/op over par ns/op (>1 means the fan-out won).
+	Speedup float64 `json:"speedup"`
+	// AllocRatio is par allocs/op over seq allocs/op (the scratch
+	// pools should keep this near 1).
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+type report struct {
+	Revision    string  `json:"revision"`
+	Date        string  `json:"date"`
+	GoVersion   string  `json:"go_version"`
+	CPU         string  `json:"cpu"`
+	MaxProcs    int     `json:"gomaxprocs"`
+	N           int     `json:"n"`
+	Parallelism int     `json:"parallelism"`
+	Benchtime   string  `json:"benchtime"`
+	Benchmarks  []entry `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result row, e.g.
+// BenchmarkPaper/GeoGreedy-8  2  512345678 ns/op  123456 B/op  789 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		parallelism = flag.Int("parallelism", runtime.GOMAXPROCS(0),
+			"worker count for the parallel pass (the sequential pass is always 1)")
+		n         = flag.Int("n", 100000, "BenchmarkPaper dataset size")
+		benchtime = flag.String("benchtime", "2x", "go test -benchtime value")
+		bench     = flag.String("bench", "Paper", "go test -bench regexp")
+		out       = flag.String("out", "", "output path (default BENCH_<rev>.json)")
+	)
+	flag.Parse()
+	if *parallelism < 2 {
+		// A 1-vs-1 diff is meaningless; still record it, but say so.
+		fmt.Fprintf(os.Stderr, "benchbaseline: parallel pass width %d — speedups will be ~1 on this machine\n",
+			*parallelism)
+	}
+
+	rev := gitRev()
+	seq, cpu, err := runPass(1, *n, *benchtime, *bench)
+	if err != nil {
+		fatal(err)
+	}
+	par, _, err := runPass(*parallelism, *n, *benchtime, *bench)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		Revision:    rev,
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		CPU:         cpu,
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		N:           *n,
+		Parallelism: *parallelism,
+		Benchtime:   *benchtime,
+	}
+	for _, name := range sortedKeys(seq) {
+		s := seq[name]
+		p, ok := par[name]
+		if !ok {
+			continue
+		}
+		e := entry{Name: name, Seq: s, Par: p}
+		if p.NsPerOp > 0 {
+			e.Speedup = s.NsPerOp / p.NsPerOp
+		}
+		if s.AllocsPerOp > 0 {
+			e.AllocRatio = float64(p.AllocsPerOp) / float64(s.AllocsPerOp)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmarks matched -bench=%s in both passes", *bench))
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rev + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("wrote %s (rev %s, n=%d, parallelism 1 vs %d)\n", path, rev, *n, *parallelism)
+	fmt.Printf("%-40s %14s %14s %8s %7s\n", "benchmark", "seq ns/op", "par ns/op", "speedup", "allocΔ")
+	for _, e := range rep.Benchmarks {
+		fmt.Printf("%-40s %14.0f %14.0f %7.2fx %6.2fx\n",
+			e.Name, e.Seq.NsPerOp, e.Par.NsPerOp, e.Speedup, e.AllocRatio)
+	}
+}
+
+// runPass executes one `go test -bench` invocation at the given
+// worker width and returns the parsed measurements keyed by benchmark
+// name (the -cpu suffix stripped), plus the reported cpu model.
+func runPass(workers, n int, benchtime, bench string) (map[string]measurement, string, error) {
+	args := []string{
+		"test", "-run=^$", "-bench=" + bench, "-benchmem", "-count=1",
+		"-benchtime=" + benchtime, "-timeout=60m", ".",
+		"-args",
+		fmt.Sprintf("-kregret.parallelism=%d", workers),
+		fmt.Sprintf("-kregret.benchn=%d", n),
+	}
+	fmt.Fprintf(os.Stderr, "benchbaseline: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, "", fmt.Errorf("pass at parallelism %d: %w\n%s", workers, err, outBytes)
+	}
+	res := make(map[string]measurement)
+	cpu := ""
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		var mem measurement
+		mem.NsPerOp = ns
+		if m[3] != "" {
+			mem.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+			mem.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		res[strings.TrimPrefix(m[1], "Benchmark")] = mem
+	}
+	if len(res) == 0 {
+		return nil, "", fmt.Errorf("pass at parallelism %d produced no benchmark lines:\n%s", workers, outBytes)
+	}
+	return res, cpu, nil
+}
+
+func sortedKeys(m map[string]measurement) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+	os.Exit(1)
+}

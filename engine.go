@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/serve"
 )
 
@@ -32,6 +33,7 @@ type EngineOption func(*engineOptions)
 
 type engineOptions struct {
 	workers, queueDepth int
+	parallelismBudget   int
 	maxQueryTime        time.Duration
 	breakerThreshold    int
 	breakerCooldown     time.Duration
@@ -47,6 +49,21 @@ func WithWorkers(n int) EngineOption { return func(o *engineOptions) { o.workers
 // worker (default twice the worker count). Requests beyond it are
 // shed with ErrOverloaded.
 func WithQueueDepth(n int) EngineOption { return func(o *engineOptions) { o.queueDepth = n } }
+
+// WithParallelismBudget caps the total intra-query fan-out across the
+// whole engine: each query runs with WithParallelism(budget / pool
+// workers) (at least 1), so inter-query concurrency and intra-query
+// parallelism compose to at most ~budget busy goroutines instead of
+// multiplying. The default budget is the process default parallelism
+// (see WithParallelism), which with the default worker count gives
+// every query the exact sequential path — a saturated pool already
+// uses every core. Raise the budget (or lower the worker count) to
+// give individual queries more cores, e.g. a 1-worker engine with
+// budget 8 runs one query at a time, 8-wide. A WithParallelism in
+// WithQueryDefaults or per-call options overrides the derived value.
+func WithParallelismBudget(n int) EngineOption {
+	return func(o *engineOptions) { o.parallelismBudget = n }
+}
 
 // WithQueryTimeout caps the wall-clock budget of every query (default
 // none). The effective budget is the smaller of this cap and the
@@ -92,11 +109,11 @@ type EngineStats struct {
 	// dead); Canceled were abandoned by their caller while queued;
 	// RejectedShutdown arrived after Shutdown. Queued and InFlight
 	// are current gauges.
-	Admitted, Completed              uint64
-	ShedOverload, ShedDeadline       uint64
-	Canceled, RejectedShutdown       uint64
-	Queued, InFlight                 int
-	Workers, QueueDepth              int
+	Admitted, Completed        uint64
+	ShedOverload, ShedDeadline uint64
+	Canceled, RejectedShutdown uint64
+	Queued, InFlight           int
+	Workers, QueueDepth        int
 	// Degraded counts answers produced by the numerical fallback
 	// chain; BreakerShortCircuits counts queries an open breaker
 	// routed straight to Cube without attempting the requested
@@ -126,6 +143,10 @@ type Engine struct {
 	pool     *serve.Pool
 	breakers *serve.BreakerSet
 	opts     engineOptions
+	// perQueryWorkers is the intra-query parallelism injected into
+	// every query (overridable via options): the engine's parallelism
+	// budget divided by the pool's worker count.
+	perQueryWorkers int
 
 	degraded        atomic.Uint64
 	breakerShorts   atomic.Uint64
@@ -159,7 +180,22 @@ func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
 		e.idx, e.snapshotRebuilt = idx, rebuilt
 	}
 	e.pool = serve.NewPool(serve.Config{Workers: o.workers, QueueDepth: o.queueDepth})
+	e.perQueryWorkers = derivePerQueryWorkers(o.parallelismBudget, e.pool.Stats().Workers)
 	return e, nil
+}
+
+// derivePerQueryWorkers splits the engine-wide parallelism budget
+// (0 = the process default) evenly over the pool workers; every query
+// gets at least the sequential path.
+func derivePerQueryWorkers(budget, poolWorkers int) int {
+	budget = parallel.Resolve(budget)
+	if poolWorkers < 1 {
+		poolWorkers = 1
+	}
+	if per := budget / poolWorkers; per > 1 {
+		return per
+	}
+	return 1
 }
 
 // loadOrRebuildIndex implements the crash-safe startup path: a
@@ -195,7 +231,12 @@ func (e *Engine) Query(ctx context.Context, k int, opts ...Option) (*Answer, err
 	if k < 1 {
 		return nil, ErrBadK
 	}
-	all := append(append([]Option(nil), e.opts.queryOpts...), opts...)
+	// The derived per-query parallelism goes first so WithQueryDefaults
+	// and per-call options can both override it.
+	all := make([]Option, 0, len(e.opts.queryOpts)+len(opts)+1)
+	all = append(all, WithParallelism(e.perQueryWorkers))
+	all = append(all, e.opts.queryOpts...)
+	all = append(all, opts...)
 	var (
 		ans *Answer
 		err error

@@ -169,7 +169,7 @@ func FuzzLoadIndex(f *testing.F) {
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/3] ^= 0xff // bit-flipped payload
 	f.Add(flipped)
-	f.Add(valid[:3])                     // shorter than the magic
+	f.Add(valid[:3]) // shorter than the magic
 	f.Add([]byte("KRGXgarbage after magic"))
 	f.Add([]byte{})
 

@@ -110,6 +110,13 @@ func TestSliceAliasFixture(t *testing.T) {
 	runFixture(t, "slicealias", "slicealiasfix", "slicealias")
 }
 
+func TestParallelForFixture(t *testing.T) {
+	// The import path deliberately contains "/internal/": the
+	// parallel-body check must run before the internal-package
+	// exemption of the aliasing check.
+	runFixture(t, "parfor", "repro/internal/parforfix", "slicealias")
+}
+
 func TestNaNInfFixture(t *testing.T) {
 	runFixture(t, "naninf", "naninffix", "naninf")
 }

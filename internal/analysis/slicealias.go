@@ -33,6 +33,9 @@ var SliceAlias = &Analyzer{
 }
 
 func runSliceAlias(pass *Pass) {
+	// The parallel-body check runs everywhere — internal packages are
+	// exactly where the parallel.For call sites live.
+	checkParallelFor(pass)
 	if strings.Contains(pass.Pkg.Path+"/", "/internal/") {
 		return
 	}
@@ -190,6 +193,192 @@ func checkAliasing(pass *Pass, fn *ast.FuncDecl) {
 					pass.Reportf(v.Pos(), "%s stores caller-provided float slice in composite literal without copying", fn.Name.Name)
 				}
 			}
+		}
+		return true
+	})
+}
+
+// checkParallelFor enforces the sharing discipline of the
+// internal/parallel fan-out idiom: a closure passed as the body of
+// parallel.For (or the value function of parallel.ArgMax) runs
+// concurrently on several goroutines, so the only captured state it
+// may write is a per-index slot — an element of a captured slice (or
+// map, or a field of such an element) addressed by an index derived
+// from the body's own chunk parameters. A write to a bare captured
+// variable (`sum += x`, `out = append(out, v)`) or to a captured
+// container at a chunk-independent index (`hits[total]`, `m[key]`) is
+// a data race that -race only catches when the schedule cooperates;
+// this check catches it statically at every call site.
+//
+// "Chunk-derived" is a taint set: the body's parameters (start/end,
+// or ArgMax's index) seed it, and any local whose initializer or
+// assignment mentions a chunk-derived identifier joins it — covering
+// the canonical `for i := start; i < end; i++` loop variable and
+// offsets computed from it.
+func checkParallelFor(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, body := parallelBodyArg(call); body != nil {
+				checkParallelBody(pass, name, body)
+			}
+			return true
+		})
+	}
+}
+
+// parallelBodyArg recognizes parallel.For / parallel.ArgMax calls
+// whose final argument is a function literal and returns the callee
+// name and that literal. The match is syntactic on the selector
+// `parallel.<name>` so it also covers fixtures and future wrappers
+// that mimic the package's shape.
+func parallelBodyArg(call *ast.CallExpr) (string, *ast.FuncLit) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok || x.Name != "parallel" {
+		return "", nil
+	}
+	if sel.Sel.Name != "For" && sel.Sel.Name != "ArgMax" {
+		return "", nil
+	}
+	if len(call.Args) == 0 {
+		return "", nil
+	}
+	body, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+	if !ok {
+		return "", nil
+	}
+	return "parallel." + sel.Sel.Name, body
+}
+
+func checkParallelBody(pass *Pass, callee string, body *ast.FuncLit) {
+	info := pass.Pkg.Info
+
+	// Seed the chunk-derived taint set with the body's parameters.
+	chunk := map[types.Object]bool{}
+	if body.Type.Params != nil {
+		for _, field := range body.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					chunk[obj] = true
+				}
+			}
+		}
+	}
+
+	mentionsChunk := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && chunk[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Propagate: a local defined or reassigned from a chunk-derived
+	// expression is chunk-derived (loop variables, offsets).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || chunk[obj] || !mentionsChunk(assign.Rhs[i]) {
+					continue
+				}
+				chunk[obj] = true
+				changed = true
+			}
+			return true
+		})
+	}
+
+	localToBody := func(obj types.Object) bool {
+		return obj != nil && body.Pos() <= obj.Pos() && obj.Pos() < body.End()
+	}
+
+	// checkWrite walks one write target: unwrap the selector/index
+	// chain to its root identifier; a captured root is a violation
+	// unless some slice/array index along the chain is chunk-derived.
+	// A captured map is a violation at ANY key — concurrent map writes
+	// race even on distinct keys.
+	checkWrite := func(target ast.Expr) {
+		indexed, chunkIndexed, mapWrite := false, false, false
+		e := target
+	unwrap:
+		for {
+			switch t := e.(type) {
+			case *ast.ParenExpr:
+				e = t.X
+			case *ast.SelectorExpr:
+				e = t.X
+			case *ast.StarExpr:
+				e = t.X
+			case *ast.IndexExpr:
+				indexed = true
+				if tv, ok := info.Types[t.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						mapWrite = true
+					}
+				}
+				if !mapWrite && mentionsChunk(t.Index) {
+					chunkIndexed = true
+				}
+				e = t.X
+			default:
+				break unwrap
+			}
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if info.Defs[id] != nil {
+			return // := definition of a body-local
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || localToBody(obj) || (chunkIndexed && !mapWrite) {
+			return
+		}
+		switch {
+		case mapWrite:
+			pass.Reportf(target.Pos(),
+				"%s body writes captured map %q; concurrent map writes race at any key — collect per-chunk and merge after the join", callee, id.Name)
+		case indexed:
+			pass.Reportf(target.Pos(),
+				"%s body writes captured %q at a chunk-independent index; concurrent chunks race — derive the index from the body parameters", callee, id.Name)
+		default:
+			pass.Reportf(target.Pos(),
+				"%s body writes captured variable %q; concurrent chunks race — give each index its own slot and reduce after the join", callee, id.Name)
+		}
+	}
+
+	ast.Inspect(body.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X)
 		}
 		return true
 	})

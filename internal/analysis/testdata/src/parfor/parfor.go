@@ -1,0 +1,152 @@
+// Package parfor seeds violations of the parallel.For body-capture
+// discipline (checked by the slicealias analyzer): bodies run
+// concurrently, so captured state may only be written through
+// per-index slots addressed by chunk-derived indices. The stub below
+// mirrors internal/parallel's call shape — fixture packages may
+// import only the standard library, and the analyzer matches the
+// `parallel.For` / `parallel.ArgMax` selector syntactically.
+package parfor
+
+import "context"
+
+type parallelStub struct{}
+
+func (parallelStub) For(_ context.Context, n, _, _ int, body func(start, end int) error) error {
+	return body(0, n)
+}
+
+func (parallelStub) ArgMax(_ context.Context, n, _, _ int, value func(i int) (float64, bool)) (int, float64, error) {
+	best, bestVal := -1, 0.0
+	for i := 0; i < n; i++ {
+		v, ok := value(i)
+		if ok && (best < 0 || v > bestVal) {
+			best, bestVal = i, v
+		}
+	}
+	return best, bestVal, nil
+}
+
+var parallel parallelStub
+
+// capturedScalar accumulates into a variable shared by every chunk:
+// the classic lost-update race a per-slot fill avoids.
+func capturedScalar(xs []float64) (float64, error) {
+	sum := 0.0
+	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+		for i := start; i < end; i++ {
+			sum += xs[i] // want: slicealias
+		}
+		return nil
+	})
+	return sum, err
+}
+
+// capturedAppend grows a shared slice from concurrent chunks: both
+// the length word and the backing array race.
+func capturedAppend(xs []float64) ([]float64, error) {
+	var out []float64
+	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+		for i := start; i < end; i++ {
+			if xs[i] > 0.5 {
+				out = append(out, xs[i]) // want: slicealias
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// chunkIndependentIndex writes slots addressed by a shared cursor
+// instead of the loop index: distinct chunks collide on the cursor
+// and on each other's slots.
+func chunkIndependentIndex(xs []float64) ([]float64, error) {
+	hits := make([]float64, len(xs))
+	cursor := 0
+	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+		for i := start; i < end; i++ {
+			hits[cursor] = xs[i] // want: slicealias
+			cursor++             // want: slicealias
+		}
+		return nil
+	})
+	return hits, err
+}
+
+// capturedMap writes a shared map: concurrent map writes race even at
+// distinct chunk-derived keys.
+func capturedMap(xs []float64) (map[int]float64, error) {
+	seen := make(map[int]float64, len(xs))
+	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+		for i := start; i < end; i++ {
+			seen[i] = xs[i] // want: slicealias
+		}
+		return nil
+	})
+	return seen, err
+}
+
+// argMaxSideEffect mutates shared state from an ArgMax value
+// function, which must be a pure read.
+func argMaxSideEffect(xs []float64) (int, error) {
+	visits := 0
+	best, _, err := parallel.ArgMax(context.Background(), len(xs), 0, 1, func(i int) (float64, bool) {
+		visits++ // want: slicealias
+		return xs[i], true
+	})
+	_ = visits
+	return best, err
+}
+
+// perSlotFill is the sanctioned idiom: every write lands in a slot
+// addressed by the chunk loop variable, locals stay inside the body,
+// and derived offsets (i - start) inherit the chunk taint.
+func perSlotFill(xs []float64) ([]float64, error) {
+	res := make([]float64, len(xs))
+	scratch := make([]float64, len(xs))
+	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+		local := 0.0
+		for i := start; i < end; i++ {
+			j := i - start
+			local = xs[i] + 1
+			scratch[start+j] = local
+			res[i] = scratch[i]
+		}
+		return nil
+	})
+	return res, err
+}
+
+// reduceAfterJoin reads the per-slot results sequentially once the
+// fan-out has returned: writes outside the body are not chunk writes.
+func reduceAfterJoin(xs []float64) (float64, error) {
+	res := make([]float64, len(xs))
+	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+		for i := start; i < end; i++ {
+			res[i] = xs[i]
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, v := range res {
+		sum += v
+	}
+	return sum, nil
+}
+
+// allowedSingleWriter documents the escape hatch: a body that the
+// caller guarantees runs single-chunk may suppress the finding with
+// the standard directive.
+func allowedSingleWriter(xs []float64) (float64, error) {
+	total := 0.0
+	err := parallel.For(context.Background(), len(xs), 1, len(xs)+1, func(start, end int) error {
+		for i := start; i < end; i++ {
+			//kregret:allow slicealias: single chunk by construction (grain > n)
+			total += xs[i]
+		}
+		return nil
+	})
+	return total, err
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/assert"
 	"repro/internal/geom"
+	"repro/internal/parallel"
 )
 
 // ErrEmptySelection is returned when evaluating an empty selection.
@@ -41,6 +42,17 @@ func MRRGeometric(pts []geom.Vector, sel []int) (float64, error) {
 // support-scan batch. The returned error wraps ctx.Err() when
 // canceled.
 func MRRGeometricCtx(ctx context.Context, pts []geom.Vector, sel []int) (float64, error) {
+	return MRRGeometricParCtx(ctx, pts, sel, 1)
+}
+
+// MRRGeometricParCtx is MRRGeometricCtx with intra-query parallelism:
+// the per-point support scan over the selection's dual hull fans out
+// over up to `workers` goroutines (0 = the process default, 1 = the
+// exact sequential path). The hull is read-only during the scan and
+// the max reduction is order-independent, so the result is identical
+// for every worker count; a NaN support poisons the reduction and
+// surfaces as ErrDegenerate instead of being silently dropped.
+func MRRGeometricParCtx(ctx context.Context, pts []geom.Vector, sel []int, workers int) (float64, error) {
 	if _, err := validatePoints(pts); err != nil {
 		return 0, err
 	}
@@ -60,18 +72,19 @@ func MRRGeometricCtx(ctx context.Context, pts []geom.Vector, sel []int) (float64
 			return 0, err
 		}
 	}
-	maxSupport := 1.0
-	for qi, q := range pts {
-		if qi%scanBatch == 0 {
-			if err := ctx.Err(); err != nil {
-				return 0, fmt.Errorf("core: regret evaluation canceled: %w", err)
-			}
+	idx, maxSupport, err := parallel.ArgMax(ctx, len(pts), workers, grainSupport, func(qi int) (float64, bool) {
+		s, _ := hull.supportOf(pts[qi])
+		return s, true
+	})
+	if err != nil {
+		var nanErr *parallel.NaNError
+		if errors.As(err, &nanErr) {
+			return 0, fmt.Errorf("%w: point %d has NaN support in regret evaluation",
+				ErrDegenerate, nanErr.Index)
 		}
-		if s, _ := hull.supportOf(q); s > maxSupport {
-			maxSupport = s
-		}
+		return 0, fmt.Errorf("core: regret evaluation canceled: %w", err)
 	}
-	if maxSupport <= 1 {
+	if idx < 0 || maxSupport <= 1 {
 		return 0, nil
 	}
 	mrr := 1 - 1/maxSupport
@@ -116,21 +129,23 @@ func MRRByLP(pts []geom.Vector, sel []int) (float64, error) {
 // the exact value and converges to it; useful as a sanity oracle and
 // for utility classes without geometric structure.
 func MRRSampled(pts []geom.Vector, sel []int, samples int, seed int64) (float64, error) {
-	if _, err := validatePoints(pts); err != nil {
+	return MRRSampledParCtx(context.Background(), pts, sel, samples, seed, 1)
+}
+
+// MRRSampledParCtx is MRRSampled with cooperative cancellation and
+// intra-query parallelism. The utilities are drawn sequentially from
+// the seeded generator (so the sample set is identical for every
+// worker count), their regrets are evaluated in parallel into
+// per-sample slots, and the max fold is order-independent — the
+// estimate is byte-identical to the sequential one.
+func MRRSampledParCtx(ctx context.Context, pts []geom.Vector, sel []int, samples int, seed int64, workers int) (float64, error) {
+	regrets, err := sampledRegrets(ctx, pts, sel, samples, seed, workers)
+	if err != nil {
 		return 0, err
 	}
-	if err := checkSelection(pts, sel); err != nil {
-		return 0, err
-	}
-	if samples < 1 {
-		return 0, fmt.Errorf("core: samples must be positive, got %d", samples)
-	}
-	d := len(pts[0])
-	rng := rand.New(rand.NewSource(seed))
+	defer putFloatScratch(regrets)
 	worst := 0.0
-	for s := 0; s < samples; s++ {
-		w := randomUtility(rng, d)
-		r := regretOf(pts, sel, w)
+	for _, r := range regrets {
 		if r > worst {
 			worst = r
 		}
@@ -138,26 +153,75 @@ func MRRSampled(pts []geom.Vector, sel []int, samples int, seed int64) (float64,
 	return worst, nil
 }
 
+// sampledRegrets draws `samples` utilities from the seeded generator
+// and fills their regret ratios, fanning the per-utility evaluation
+// (two O(n·d) scans each) out over the workers. The returned slice
+// comes from the scratch pool; the caller must putFloatScratch it.
+func sampledRegrets(ctx context.Context, pts []geom.Vector, sel []int, samples int, seed int64, workers int) ([]float64, error) {
+	if _, err := validatePoints(pts); err != nil {
+		return nil, err
+	}
+	if err := checkSelection(pts, sel); err != nil {
+		return nil, err
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("core: samples must be positive, got %d", samples)
+	}
+	d := len(pts[0])
+	rng := rand.New(rand.NewSource(seed))
+	ws := make([]geom.Vector, samples)
+	for s := range ws {
+		ws[s] = randomUtility(rng, d)
+	}
+	regrets := floatScratch(samples)
+	err := parallel.For(ctx, samples, workers, 1, func(start, end int) error {
+		for s := start; s < end; s++ {
+			if (s-start)%sampleCtxBatch == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: sampled regret evaluation canceled: %w", err)
+				}
+			}
+			regrets[s] = regretOf(pts, sel, ws[s])
+		}
+		return nil
+	})
+	if err != nil {
+		putFloatScratch(regrets)
+		return nil, err
+	}
+	return regrets, nil
+}
+
+// sampleCtxBatch is the number of per-utility regret evaluations
+// between cancellation checks; each evaluation already scans the full
+// dataset, so a small batch keeps cancellation prompt.
+const sampleCtxBatch = 16
+
 // AverageRegretSampled estimates the average regret ratio of the
 // selection over utility functions drawn uniformly from the
 // non-negative unit sphere — the paper's first "future direction"
 // (Section VIII), provided as an extension.
 func AverageRegretSampled(pts []geom.Vector, sel []int, samples int, seed int64) (float64, error) {
-	if _, err := validatePoints(pts); err != nil {
+	return AverageRegretSampledParCtx(context.Background(), pts, sel, samples, seed, 1)
+}
+
+// AverageRegretSampledParCtx is AverageRegretSampled with cooperative
+// cancellation and intra-query parallelism. Regrets are evaluated in
+// parallel into per-sample slots but summed sequentially in sample
+// order — float addition is order-dependent, and the sequential fold
+// keeps the estimate byte-identical for every worker count.
+func AverageRegretSampledParCtx(ctx context.Context, pts []geom.Vector, sel []int, samples int, seed int64, workers int) (float64, error) {
+	regrets, err := sampledRegrets(ctx, pts, sel, samples, seed, workers)
+	if err != nil {
 		return 0, err
 	}
-	if err := checkSelection(pts, sel); err != nil {
-		return 0, err
-	}
-	if samples < 1 {
-		return 0, fmt.Errorf("core: samples must be positive, got %d", samples)
-	}
-	d := len(pts[0])
-	rng := rand.New(rand.NewSource(seed))
+	defer putFloatScratch(regrets)
 	var sum float64
-	for s := 0; s < samples; s++ {
-		sum += regretOf(pts, sel, randomUtility(rng, d))
+	for _, r := range regrets {
+		sum += r
 	}
+	// sampledRegrets rejects samples < 1, so the divisor is ≥ 1.
+	//kregret:allow naninf: samples validated positive above
 	return sum / float64(samples), nil
 }
 

@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/assert"
 	"repro/internal/fault"
 	"repro/internal/geom"
+	"repro/internal/parallel"
 )
 
 // GeoGreedy runs Algorithm 1 of the paper on the candidate points:
@@ -23,7 +25,7 @@ import (
 // on the skyline or the raw dataset is allowed and reproduces the
 // paper's D_sky experiments.
 func GeoGreedy(pts []geom.Vector, k int) (*Result, error) {
-	return geoGreedyTrace(context.Background(), pts, k, nil)
+	return geoGreedyTrace(context.Background(), pts, k, 1, nil)
 }
 
 // GeoGreedyCtx is GeoGreedy with cooperative cancellation: the
@@ -32,7 +34,19 @@ func GeoGreedy(pts []geom.Vector, k int) (*Result, error) {
 // or cancel stops the algorithm within one batch even on pathological
 // hulls. The returned error wraps ctx.Err() when canceled.
 func GeoGreedyCtx(ctx context.Context, pts []geom.Vector, k int) (*Result, error) {
-	return geoGreedyTrace(ctx, pts, k, nil)
+	return geoGreedyTrace(ctx, pts, k, 1, nil)
+}
+
+// GeoGreedyParCtx is GeoGreedyCtx with intra-query parallelism: the
+// candidate support scans, re-location passes and argmax reductions
+// fan out over up to `workers` goroutines (0 = the process default,
+// 1 = the exact sequential path). The answer is byte-identical to the
+// sequential one for every worker count — reductions break ties by
+// lowest index and NaN supports surface as ErrDegenerate with the
+// lowest poisoned candidate, exactly as the sequential scan reports
+// them.
+func GeoGreedyParCtx(ctx context.Context, pts []geom.Vector, k, workers int) (*Result, error) {
+	return geoGreedyTrace(ctx, pts, k, workers, nil)
 }
 
 // GeoGreedyTrace is GeoGreedy plus a per-insertion callback: after
@@ -40,18 +54,37 @@ func GeoGreedyCtx(ctx context.Context, pts []geom.Vector, k int) (*Result, error
 // the maximum regret ratio of the selection so far. StoredList uses
 // it to materialize the full insertion order with prefix regrets.
 func GeoGreedyTrace(pts []geom.Vector, k int, onSelect func(index int, mrrSoFar float64)) (*Result, error) {
-	return geoGreedyTrace(context.Background(), pts, k, onSelect)
+	return geoGreedyTrace(context.Background(), pts, k, 1, onSelect)
 }
 
 // GeoGreedyTraceCtx is GeoGreedyTrace with cooperative cancellation
 // (see GeoGreedyCtx).
 func GeoGreedyTraceCtx(ctx context.Context, pts []geom.Vector, k int, onSelect func(index int, mrrSoFar float64)) (*Result, error) {
-	return geoGreedyTrace(ctx, pts, k, onSelect)
+	return geoGreedyTrace(ctx, pts, k, 1, onSelect)
+}
+
+// GeoGreedyTraceParCtx is GeoGreedyTraceCtx with intra-query
+// parallelism (see GeoGreedyParCtx). The callback itself is always
+// invoked from the calling goroutine, in selection order.
+func GeoGreedyTraceParCtx(ctx context.Context, pts []geom.Vector, k, workers int, onSelect func(index int, mrrSoFar float64)) (*Result, error) {
+	return geoGreedyTrace(ctx, pts, k, workers, onSelect)
 }
 
 // scanBatch is the number of candidate-support computations between
 // cancellation checks in the initial assignment pass.
 const scanBatch = 4096
+
+// Per-site parallel grains: the minimum chunk sizes handed to
+// parallel.For/ArgMax, sized so chunk scheduling stays well under the
+// per-item work.
+const (
+	// grainSupport covers dual-hull support evaluations (a dot
+	// product per hull vertex per candidate).
+	grainSupport = 256
+	// grainReduce covers pure loads/compares over cached candidate
+	// state.
+	grainReduce = 4096
+)
 
 // candState caches, for one unselected candidate, the dual vertex
 // currently maximizing v·q (the face its critical ray crosses) and
@@ -62,9 +95,8 @@ type candState struct {
 	taken   bool
 }
 
-func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k int, onSelect func(int, float64)) (*Result, error) {
-	d, err := validatePoints(pts)
-	if err != nil {
+func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSelect func(int, float64)) (*Result, error) {
+	if _, err := validatePoints(pts); err != nil {
 		return nil, err
 	}
 	if k < 1 {
@@ -98,30 +130,44 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k int, onSelect func
 		states[i].taken = true
 		selected = append(selected, i)
 	}
-	_ = d
 
-	// Initial face assignment for every remaining candidate.
-	for i := range pts {
-		if states[i].taken {
-			continue
-		}
-		if i%scanBatch == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: GeoGreedy canceled during candidate assignment: %w", err)
+	// Initial face assignment for every remaining candidate. The hull
+	// is read-only during the scan and each iteration writes only its
+	// own states entry, so the chunks are independent.
+	err = parallel.For(ctx, len(pts), workers, grainSupport, func(start, end int) error {
+		for i := start; i < end; i++ {
+			if states[i].taken {
+				continue
 			}
+			if (i-start)%scanBatch == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: GeoGreedy canceled during candidate assignment: %w", err)
+				}
+			}
+			val, v := hull.supportOf(pts[i])
+			if fault.Enabled {
+				val = fault.NaN(fault.SiteGeoGreedySupport, val)
+			}
+			states[i].bestVal, states[i].bestID = val, v.ID
 		}
-		val, v := hull.supportOf(pts[i])
-		if fault.Enabled {
-			val = fault.NaN(fault.SiteGeoGreedySupport, val)
-		}
-		states[i].bestVal, states[i].bestID = val, v.ID
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if onSelect != nil {
-		mrr := currentMRR(states)
+		mrr, err := currentMRR(ctx, states, workers)
+		if err != nil {
+			return nil, err
+		}
 		for _, i := range seeds {
 			onSelect(i, mrr)
 		}
 	}
+
+	// Re-location scratch, reused across insertions: membership set of
+	// the dual vertices each insertion destroyed.
+	removed := make(map[int]bool)
 
 	exhausted := -1
 	for len(selected) < k {
@@ -135,19 +181,9 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k int, onSelect func
 		// support value. A NaN support means the hull arithmetic broke
 		// down (it would silently lose the candidate: every comparison
 		// against NaN is false) — surface it as a degeneracy instead.
-		best := -1
-		bestVal := 1.0 + geom.Eps
-		for i := range states {
-			if states[i].taken {
-				continue
-			}
-			if math.IsNaN(states[i].bestVal) {
-				return nil, fmt.Errorf("%w: candidate %d has NaN critical ratio after %d selections",
-					ErrDegenerate, i, len(selected))
-			}
-			if states[i].bestVal > bestVal {
-				best, bestVal = i, states[i].bestVal
-			}
+		best, _, err := bestCandidate(ctx, states, workers, len(selected))
+		if err != nil {
+			return nil, err
 		}
 		if best < 0 {
 			// Every remaining candidate is inside the hull:
@@ -164,48 +200,63 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k int, onSelect func
 
 		// Incremental re-location: only candidates whose cached face
 		// was removed rescan, and only over the faces of the new cap
-		// (created vertices plus kept vertices on the new plane).
+		// (created vertices plus kept vertices on the new plane). The
+		// removed set and the new faces are read-only during the pass;
+		// each iteration writes only its own states entry.
 		if len(res.RemovedIDs) > 0 {
-			removed := make(map[int]bool, len(res.RemovedIDs))
+			clear(removed)
 			for _, id := range res.RemovedIDs {
 				removed[id] = true
 			}
-			for i := range states {
-				st := &states[i]
-				if st.taken || !removed[st.bestID] {
-					continue
-				}
-				newVal := math.Inf(-1)
-				newID := -1
-				for _, v := range res.Added {
-					if dot := v.Point.Dot(pts[i]); dot > newVal {
-						newVal, newID = dot, v.ID
+			err := parallel.For(ctx, len(states), workers, grainSupport, func(start, end int) error {
+				for i := start; i < end; i++ {
+					st := &states[i]
+					if st.taken || !removed[st.bestID] {
+						continue
 					}
-				}
-				for _, v := range res.OnPlane {
-					if dot := v.Point.Dot(pts[i]); dot > newVal {
-						newVal, newID = dot, v.ID
+					newVal := math.Inf(-1)
+					newID := -1
+					for _, v := range res.Added {
+						if dot := v.Point.Dot(pts[i]); dot > newVal {
+							newVal, newID = dot, v.ID
+						}
 					}
+					for _, v := range res.OnPlane {
+						if dot := v.Point.Dot(pts[i]); dot > newVal {
+							newVal, newID = dot, v.ID
+						}
+					}
+					if fault.Enabled {
+						newVal = fault.NaN(fault.SiteGeoGreedySupport, newVal)
+					}
+					st.bestVal, st.bestID = newVal, newID
 				}
-				if fault.Enabled {
-					newVal = fault.NaN(fault.SiteGeoGreedySupport, newVal)
-				}
-				st.bestVal, st.bestID = newVal, newID
+				return nil
+			})
+			if err != nil {
+				return nil, err
 			}
 		}
 		if onSelect != nil {
-			onSelect(best, currentMRR(states))
+			mrr, err := currentMRR(ctx, states, workers)
+			if err != nil {
+				return nil, err
+			}
+			onSelect(best, mrr)
 		}
 	}
 
-	mrr := currentMRR(states)
+	mrr, err := currentMRR(ctx, states, workers)
+	if err != nil {
+		return nil, err
+	}
 	if truncatedSeeds {
 		// With k below the number of dimension boundary points, the
 		// dual hull's box bounds (implied only by the full seed set)
 		// clip Q(S), so cached supports underestimate the regret —
 		// the paper's unbounded k < d regime (Section VII).
 		// Re-evaluate exactly from the selection alone.
-		exact, err := MRRGeometricCtx(ctx, pts, selected)
+		exact, err := MRRGeometricParCtx(ctx, pts, selected, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -232,17 +283,49 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k int, onSelect func
 	}, nil
 }
 
-// currentMRR computes 1 − min cr over unselected candidates from the
-// cached support values (Lemma 1), clamped at zero.
-func currentMRR(states []candState) float64 {
-	maxVal := 1.0
-	for i := range states {
-		if !states[i].taken && states[i].bestVal > maxVal {
-			maxVal = states[i].bestVal
+// bestCandidate finds the unselected candidate with the largest
+// cached support, provided it exceeds 1 + eps (critical ratio below
+// 1, i.e. still outside the hull); otherwise (-1, 0, nil). Ties break
+// to the lowest index and a NaN support anywhere is ErrDegenerate —
+// both independent of the worker count.
+func bestCandidate(ctx context.Context, states []candState, workers, nSel int) (int, float64, error) {
+	best, bestVal, err := parallel.ArgMax(ctx, len(states), workers, grainReduce, func(i int) (float64, bool) {
+		return states[i].bestVal, !states[i].taken
+	})
+	if err != nil {
+		var nanErr *parallel.NaNError
+		if errors.As(err, &nanErr) {
+			return -1, 0, fmt.Errorf("%w: candidate %d has NaN critical ratio after %d selections",
+				ErrDegenerate, nanErr.Index, nSel)
 		}
+		return -1, 0, fmt.Errorf("core: GeoGreedy canceled after %d selections: %w", nSel, err)
+	}
+	if best < 0 || bestVal <= 1.0+geom.Eps {
+		return -1, 0, nil
+	}
+	return best, bestVal, nil
+}
+
+// currentMRR computes 1 − min cr over unselected candidates from the
+// cached support values (Lemma 1), clamped at zero. A NaN cached
+// support is ErrDegenerate: the reduction would otherwise silently
+// lose it (every ordered comparison against NaN is false) and report
+// a regret that ignores the poisoned candidate — parallel and
+// sequential paths surface the identical failure instead.
+func currentMRR(ctx context.Context, states []candState, workers int) (float64, error) {
+	_, maxVal, err := parallel.ArgMax(ctx, len(states), workers, grainReduce, func(i int) (float64, bool) {
+		return states[i].bestVal, !states[i].taken
+	})
+	if err != nil {
+		var nanErr *parallel.NaNError
+		if errors.As(err, &nanErr) {
+			return 0, fmt.Errorf("%w: candidate %d has NaN critical ratio in regret evaluation",
+				ErrDegenerate, nanErr.Index)
+		}
+		return 0, fmt.Errorf("core: GeoGreedy canceled during regret evaluation: %w", err)
 	}
 	if maxVal <= 1 {
-		return 0
+		return 0, nil
 	}
-	return 1 - 1/maxVal
+	return 1 - 1/maxVal, nil
 }

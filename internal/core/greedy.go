@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/lp"
+	"repro/internal/parallel"
 )
 
 // Greedy is the best-known baseline the paper compares against
@@ -25,7 +26,7 @@ import (
 // same selection (ties aside) — property-tested — while their
 // runtime profiles differ exactly as the paper reports.
 func Greedy(pts []geom.Vector, k int) (*Result, error) {
-	return GreedyCtx(context.Background(), pts, k)
+	return greedyPar(context.Background(), pts, k, 1)
 }
 
 // GreedyCtx is Greedy with cooperative cancellation: the context is
@@ -33,6 +34,21 @@ func Greedy(pts []geom.Vector, k int) (*Result, error) {
 // (per pivot batch), so even iterations over large candidate sets
 // stop promptly. The returned error wraps ctx.Err() when canceled.
 func GreedyCtx(ctx context.Context, pts []geom.Vector, k int) (*Result, error) {
+	return greedyPar(ctx, pts, k, 1)
+}
+
+// GreedyParCtx is GreedyCtx with intra-query parallelism: the
+// independent per-candidate LP solves of each iteration fan out over
+// up to `workers` goroutines (0 = the process default, 1 = the exact
+// sequential path). Each LP optimum is deterministic, the optima land
+// in a per-candidate slot and the argmax fold runs sequentially in
+// index order, so the selection is byte-identical to the sequential
+// one for every worker count.
+func GreedyParCtx(ctx context.Context, pts []geom.Vector, k, workers int) (*Result, error) {
+	return greedyPar(ctx, pts, k, workers)
+}
+
+func greedyPar(ctx context.Context, pts []geom.Vector, k, workers int) (*Result, error) {
 	_, err := validatePoints(pts)
 	if err != nil {
 		return nil, err
@@ -55,54 +71,75 @@ func GreedyCtx(ctx context.Context, pts []geom.Vector, k int) (*Result, error) {
 		selected = append(selected, i)
 	}
 
+	// Per-iteration scratch: the LP optimum of every candidate, and
+	// the shared constraint rows ω·p ≤ 1 for the current selection
+	// (read-only during the fan-out; lp copies coefficients into its
+	// tableau, so sharing across solver goroutines is safe).
+	zs := floatScratch(len(pts))
+	defer putFloatScratch(zs)
+	cons := make([]lp.Constraint, 0, k)
+
+	solveAll := func() error {
+		cons = consFor(cons[:0], pts, selected)
+		// Grain 1: each item is a full simplex solve, far above any
+		// scheduling overhead.
+		return parallel.For(ctx, len(pts), workers, 1, func(start, end int) error {
+			for i := start; i < end; i++ {
+				if taken[i] {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: Greedy canceled after %d selections: %w", len(selected), err)
+				}
+				z, err := supportByLPCons(ctx, cons, pts[i])
+				if err != nil {
+					return err
+				}
+				zs[i] = z
+			}
+			return nil
+		})
+	}
+
 	exhausted := -1
-	lastMax := math.Inf(1)
+	fresh := false // zs reflects the current selection
 	for len(selected) < k {
+		if err := solveAll(); err != nil {
+			return nil, err
+		}
+		fresh = true
 		best, bestVal := -1, 1.0+geom.Eps
 		for i := range pts {
-			if taken[i] {
-				continue
-			}
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: Greedy canceled after %d selections: %w", len(selected), err)
-			}
-			z, err := supportByLP(ctx, pts, selected, pts[i])
-			if err != nil {
-				return nil, err
-			}
-			if z > bestVal {
-				best, bestVal = i, z
+			if !taken[i] && zs[i] > bestVal {
+				best, bestVal = i, zs[i]
 			}
 		}
 		if best < 0 {
 			exhausted = len(selected)
-			lastMax = 1
 			break
 		}
 		taken[best] = true
 		selected = append(selected, best)
-		lastMax = bestVal
+		fresh = false
 	}
-	_ = lastMax
 
 	// Final regret over the remaining candidates. An unbounded
 	// candidate LP means the selection does not span all dimensions
 	// (k below the seed count); fall back to the exact geometric
 	// evaluation so Greedy and GeoGreedy stay comparable there.
+	if !fresh {
+		if err := solveAll(); err != nil {
+			return nil, err
+		}
+	}
 	mrr := 0.0
 	for i := range pts {
 		if taken[i] {
 			continue
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: Greedy canceled during final evaluation: %w", err)
-		}
-		z, err := supportByLP(ctx, pts, selected, pts[i])
-		if err != nil {
-			return nil, err
-		}
+		z := zs[i]
 		if math.IsInf(z, 1) {
-			exact, err := MRRGeometricCtx(ctx, pts, selected)
+			exact, err := MRRGeometricParCtx(ctx, pts, selected, workers)
 			if err != nil {
 				return nil, err
 			}
@@ -119,15 +156,28 @@ func GreedyCtx(ctx context.Context, pts []geom.Vector, k int) (*Result, error) {
 	return &Result{Indices: selected, MRR: mrr, ExhaustedAt: exhausted}, nil
 }
 
+// consFor appends the selection's LP constraints ω·p ≤ 1 to cons.
+// Coefficient slices alias the dataset vectors; the solver copies
+// them before mutating its tableau.
+func consFor(cons []lp.Constraint, pts []geom.Vector, selected []int) []lp.Constraint {
+	for _, si := range selected {
+		cons = append(cons, lp.Constraint{Coeffs: pts[si], Rel: lp.LE, RHS: 1})
+	}
+	return cons
+}
+
 // supportByLP solves max{ω·q : ω ≥ 0, ω·pts[i] ≤ 1 ∀i ∈ selected}.
 // The optimum is 1/cr(q, S). Unbounded LPs (possible only when the
 // selection does not yet span every dimension, e.g. k < d) are
 // reported as +Inf.
 func supportByLP(ctx context.Context, pts []geom.Vector, selected []int, q geom.Vector) (float64, error) {
-	cons := make([]lp.Constraint, len(selected))
-	for i, si := range selected {
-		cons[i] = lp.Constraint{Coeffs: pts[si], Rel: lp.LE, RHS: 1}
-	}
+	return supportByLPCons(ctx, consFor(nil, pts, selected), q)
+}
+
+// supportByLPCons is supportByLP over prebuilt constraint rows, so
+// the per-iteration fan-out shares one constraint slice across all
+// candidate solves.
+func supportByLPCons(ctx context.Context, cons []lp.Constraint, q geom.Vector) (float64, error) {
 	sol, err := lp.SolveCtx(ctx, &lp.Problem{Objective: q, Maximize: true, Constraints: cons})
 	if err != nil {
 		return 0, fmt.Errorf("core: greedy candidate LP: %w", err)

@@ -1,0 +1,32 @@
+package core
+
+import "sync"
+
+// floatScratchPool recycles the per-iteration float buffers of the
+// hot paths (Greedy's per-candidate LP optima, the sampled regret
+// vectors). With intra-query parallelism these buffers are filled
+// concurrently and folded sequentially every greedy iteration, so
+// allocating them fresh each time would put the allocator on the
+// critical path.
+var floatScratchPool sync.Pool
+
+// floatScratch returns a length-n float slice with unspecified
+// contents; the caller must write every entry it later reads. Pair
+// with putFloatScratch.
+func floatScratch(n int) []float64 {
+	if v := floatScratchPool.Get(); v != nil {
+		if s := *(v.(*[]float64)); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// putFloatScratch returns a scratch slice to the pool.
+func putFloatScratch(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	floatScratchPool.Put(&s)
+}

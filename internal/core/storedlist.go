@@ -45,7 +45,13 @@ func BuildStoredList(pts []geom.Vector) (*StoredList, error) {
 // (the preprocessing is one full GeoGreedy run; see GeoGreedyCtx for
 // the check granularity).
 func BuildStoredListCtx(ctx context.Context, pts []geom.Vector) (*StoredList, error) {
-	s, err := BuildStoredListUpToCtx(ctx, pts, len(pts))
+	return BuildStoredListParCtx(ctx, pts, 1)
+}
+
+// BuildStoredListParCtx is BuildStoredListCtx with intra-query
+// parallelism (see BuildStoredListUpToParCtx).
+func BuildStoredListParCtx(ctx context.Context, pts []geom.Vector, workers int) (*StoredList, error) {
+	s, err := BuildStoredListUpToParCtx(ctx, pts, len(pts), workers)
 	if err != nil {
 		return nil, err
 	}
@@ -65,6 +71,16 @@ func BuildStoredListUpTo(pts []geom.Vector, maxLen int) (*StoredList, error) {
 // BuildStoredListUpToCtx is BuildStoredListUpTo with cooperative
 // cancellation.
 func BuildStoredListUpToCtx(ctx context.Context, pts []geom.Vector, maxLen int) (*StoredList, error) {
+	return BuildStoredListUpToParCtx(ctx, pts, maxLen, 1)
+}
+
+// BuildStoredListUpToParCtx is BuildStoredListUpToCtx with
+// intra-query parallelism: the underlying GeoGreedy run and the
+// seed-prefix regret fixups fan out over up to `workers` goroutines
+// (0 = the process default, 1 = the exact sequential path). The
+// materialized order and per-prefix regrets are byte-identical for
+// every worker count.
+func BuildStoredListUpToParCtx(ctx context.Context, pts []geom.Vector, maxLen, workers int) (*StoredList, error) {
 	d, err := validatePoints(pts)
 	if err != nil {
 		return nil, err
@@ -76,7 +92,7 @@ func BuildStoredListUpToCtx(ctx context.Context, pts []geom.Vector, maxLen int) 
 		maxLen = len(pts)
 	}
 	s := &StoredList{dim: d, nCand: len(pts)}
-	res, err := GeoGreedyTraceCtx(ctx, pts, maxLen, func(idx int, mrr float64) {
+	res, err := GeoGreedyTraceParCtx(ctx, pts, maxLen, workers, func(idx int, mrr float64) {
 		s.order = append(s.order, idx)
 		s.mrrAt = append(s.mrrAt, mrr)
 	})
@@ -95,7 +111,7 @@ func BuildStoredListUpToCtx(ctx context.Context, pts []geom.Vector, maxLen int) 
 	// same k.
 	seedN := len(BoundaryPoints(pts))
 	for i := 0; i < seedN-1 && i < len(s.order); i++ {
-		mrr, err := MRRGeometricCtx(ctx, pts, s.order[:i+1])
+		mrr, err := MRRGeometricParCtx(ctx, pts, s.order[:i+1], workers)
 		if err != nil {
 			return nil, err
 		}

@@ -18,12 +18,15 @@ const Enabled = true
 var ErrInjected = errors.New("fault: injected failure")
 
 // armed tracks, per site, how many future executions misbehave
-// (negative = unlimited) and, for Sleep sites, how long each stall
-// lasts. Guarded by mu: tests arm sites from the test goroutine while
-// solvers fire them from query goroutines.
+// (negative = unlimited), how many are skipped before the first
+// misbehaving one (ArmAfter), and, for Sleep sites, how long each
+// stall lasts. Guarded by mu: tests arm sites from the test goroutine
+// while solvers fire them from query goroutines.
 type armed struct {
-	shots int
-	delay time.Duration
+	shots   int
+	skip    int
+	observe bool
+	delay   time.Duration
 }
 
 var (
@@ -48,6 +51,25 @@ func ArmSleep(site string, shots int, d time.Duration) {
 	sites[site] = &armed{shots: shots, delay: d}
 }
 
+// ArmAfter lets the first `skip` executions of the site through
+// untouched, then makes the next `shots` misbehave (shots < 0 =
+// unlimited after the skip window). Combined with Observe it lets a
+// test sweep an injection across every execution of a site: observe a
+// clean run to count T, then ArmAfter(site, i, 1) for i in [0, T).
+func ArmAfter(site string, skip, shots int) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[site] = &armed{shots: shots, skip: skip}
+}
+
+// Observe counts executions of the site in Fired without making any
+// of them misbehave — the reconnaissance half of the ArmAfter sweep.
+func Observe(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[site] = &armed{observe: true}
+}
+
 // Reset disarms every site and clears the fired counters.
 func Reset() {
 	mu.Lock()
@@ -70,7 +92,18 @@ func fire(site string) (bool, time.Duration) {
 	mu.Lock()
 	defer mu.Unlock()
 	a := sites[site]
-	if a == nil || a.shots == 0 {
+	if a == nil {
+		return false, 0
+	}
+	if a.observe {
+		fired[site]++
+		return false, 0
+	}
+	if a.skip > 0 {
+		a.skip--
+		return false, 0
+	}
+	if a.shots == 0 {
 		return false, 0
 	}
 	if a.shots > 0 {

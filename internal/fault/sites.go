@@ -65,4 +65,10 @@ const (
 	// tore the write — the corruption LoadFile must detect as
 	// ErrCorruptIndex.
 	SitePersistTornWrite = "persist.torn-write"
+
+	// SiteParallelWorker panics inside a parallel.For worker goroutine
+	// before it runs its claimed chunk, proving the fan-out recaptures
+	// worker panics and re-raises them on the caller's goroutine where
+	// the public panic boundary converts them to *NumericalError.
+	SiteParallelWorker = "parallel.worker"
 )

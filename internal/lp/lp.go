@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/assert"
 	"repro/internal/fault"
@@ -156,7 +157,8 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 		}
 	}
 
-	t := newTableau(p)
+	t := acquireTableau(p)
+	defer t.release()
 	if t.numArtificial > 0 {
 		if err := t.phase1(ctx); err != nil {
 			return nil, err
@@ -205,74 +207,91 @@ type tableau struct {
 	numArtificial int
 	maximize      bool
 	objective     []float64
+	objScratch    []float64 // phase objective row, reused across solves
 	pivots        int
 	infeasible    bool
 }
 
-func newTableau(p *Problem) *tableau {
+// tableauPool recycles tableaus across solves. The Greedy baseline
+// solves one LP per candidate per iteration — tens of thousands of
+// structurally identical problems — and with intra-query parallelism
+// several goroutines solve at once, so per-solve tableau allocation
+// is the dominant allocator pressure. Rows and basis keep their
+// backing arrays between solves; init zero-fills what it reuses.
+var tableauPool = sync.Pool{New: func() any { return new(tableau) }}
+
+func acquireTableau(p *Problem) *tableau {
+	t := tableauPool.Get().(*tableau)
+	t.init(p)
+	return t
+}
+
+// release returns the tableau to the pool. The objective slice is the
+// caller's memory — drop the reference so the pool doesn't pin it.
+func (t *tableau) release() {
+	t.objective = nil
+	tableauPool.Put(t)
+}
+
+// normalizedRel is the constraint sense after the RHS ≥ 0
+// normalization: flipping a negative-RHS row swaps LE and GE.
+func normalizedRel(c Constraint) Relation {
+	rel := c.Rel
+	if c.RHS < 0 {
+		switch rel {
+		case LE:
+			rel = GE
+		case GE:
+			rel = LE
+		}
+	}
+	return rel
+}
+
+// init loads the problem into the (possibly recycled) tableau. Row
+// normalization (RHS ≥ 0) is folded into the row writes directly, so
+// no intermediate per-constraint copies are made.
+func (t *tableau) init(p *Problem) {
 	m := len(p.Constraints)
 	n := len(p.Objective)
 
-	// Count extra columns.
-	numSlack := 0
+	// Count extra columns: one slack/surplus per inequality, one
+	// artificial per row whose normalized sense is GE or EQ.
+	numSlack, numArt := 0, 0
 	for _, c := range p.Constraints {
 		if c.Rel != EQ {
 			numSlack++
 		}
-	}
-	// Normalize rows so RHS ≥ 0, then decide which rows need an
-	// artificial: GE and EQ rows, plus LE rows that were flipped.
-	type rowSpec struct {
-		coeffs []float64
-		rhs    float64
-		rel    Relation
-	}
-	specs := make([]rowSpec, m)
-	for i, c := range p.Constraints {
-		coeffs := append([]float64(nil), c.Coeffs...)
-		rhs := c.RHS
-		rel := c.Rel
-		if rhs < 0 {
-			for j := range coeffs {
-				coeffs[j] = -coeffs[j]
-			}
-			rhs = -rhs
-			switch rel {
-			case LE:
-				rel = GE
-			case GE:
-				rel = LE
-			}
-		}
-		specs[i] = rowSpec{coeffs, rhs, rel}
-	}
-	numArt := 0
-	for _, s := range specs {
-		if s.rel != LE {
+		if normalizedRel(c) != LE {
 			numArt++
 		}
 	}
 	artStart := n + numSlack
 	width := artStart + numArt
 
-	t := &tableau{
-		m:             m,
-		nOrig:         n,
-		width:         width,
-		rows:          make([][]float64, m+1),
-		basis:         make([]int, m),
-		artStart:      artStart,
-		numArtificial: numArt,
-		maximize:      p.Maximize,
-		objective:     p.Objective,
-	}
-	slackCol := n
-	artCol := artStart
-	for i, s := range specs {
-		row := make([]float64, width+1)
-		copy(row, s.coeffs)
-		row[width] = s.rhs
-		switch s.rel {
+	t.m, t.nOrig, t.width = m, n, width
+	t.artStart, t.numArtificial = artStart, numArt
+	t.maximize = p.Maximize
+	t.objective = p.Objective
+	t.pivots = 0
+	t.infeasible = false
+	t.rows = growRows(t.rows, m+1, width+1)
+	t.basis = growInts(t.basis, m)
+
+	slackCol, artCol := n, artStart
+	for i, c := range p.Constraints {
+		row := t.rows[i]
+		rhs := c.RHS
+		if rhs < 0 {
+			rhs = -rhs
+			for j, v := range c.Coeffs {
+				row[j] = -v
+			}
+		} else {
+			copy(row, c.Coeffs)
+		}
+		row[width] = rhs
+		switch normalizedRel(c) {
 		case LE:
 			row[slackCol] = 1
 			t.basis[i] = slackCol
@@ -288,10 +307,38 @@ func newTableau(p *Problem) *tableau {
 			t.basis[i] = artCol
 			artCol++
 		}
-		t.rows[i] = row
 	}
-	t.rows[m] = make([]float64, width+1)
-	return t
+	// The objective row t.rows[m] is zeroed by growRows; phase1/phase2
+	// overwrite it via setObjectiveRow.
+}
+
+// growRows resizes rows to nRows rows of rowLen zeroed entries,
+// reusing prior backing arrays where capacity allows.
+func growRows(rows [][]float64, nRows, rowLen int) [][]float64 {
+	if cap(rows) < nRows {
+		grown := make([][]float64, nRows)
+		copy(grown, rows)
+		rows = grown
+	}
+	rows = rows[:nRows]
+	for i := range rows {
+		if cap(rows[i]) < rowLen {
+			rows[i] = make([]float64, rowLen)
+			continue
+		}
+		rows[i] = rows[i][:rowLen]
+		clear(rows[i])
+	}
+	return rows
+}
+
+// growInts resizes s to n entries, reusing capacity (values are fully
+// overwritten by init, so no zeroing is needed).
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // setObjectiveRow loads row m with −c for the given full-width
@@ -307,6 +354,18 @@ func (t *tableau) setObjectiveRow(c []float64) {
 	for i, b := range t.basis {
 		addScaled(obj, t.rows[i], -obj[b])
 	}
+}
+
+// phaseObjective returns the reusable width-sized zeroed scratch the
+// phases load their objective coefficients into.
+func (t *tableau) phaseObjective() []float64 {
+	if cap(t.objScratch) < t.width {
+		t.objScratch = make([]float64, t.width)
+		return t.objScratch
+	}
+	t.objScratch = t.objScratch[:t.width]
+	clear(t.objScratch)
+	return t.objScratch
 }
 
 // addScaled does dst += f·src.
@@ -325,7 +384,7 @@ func addScaled(dst, src []float64, f float64) {
 // phase1 maximizes −Σ artificials; infeasible when the optimum is
 // below −feasEps.
 func (t *tableau) phase1(ctx context.Context) error {
-	c := make([]float64, t.width)
+	c := t.phaseObjective()
 	for j := t.artStart; j < t.width; j++ {
 		c[j] = -1
 	}
@@ -368,7 +427,7 @@ func (t *tableau) phase1(ctx context.Context) error {
 
 // phase2 optimizes the real objective, excluding artificial columns.
 func (t *tableau) phase2(ctx context.Context) (Status, error) {
-	c := make([]float64, t.width)
+	c := t.phaseObjective()
 	for j, v := range t.objective {
 		if t.maximize {
 			c[j] = v

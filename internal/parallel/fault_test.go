@@ -1,0 +1,91 @@
+//go:build kregretfault
+
+package parallel
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestSiteParallelWorkerPanics proves the injection site fires inside
+// a worker goroutine and the panic is re-raised on the caller — the
+// low-level half of the Engine degradation test in the root package.
+func TestSiteParallelWorkerPanics(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	fault.Arm(fault.SiteParallelWorker, 1)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the injected worker panic to be re-raised on the caller")
+		}
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "injected panic in parallel worker") {
+			t.Fatalf("recovered %v (%T), want the injected panic value", r, r)
+		}
+		if fault.Fired(fault.SiteParallelWorker) != 1 {
+			t.Fatalf("site fired %d times, want 1", fault.Fired(fault.SiteParallelWorker))
+		}
+	}()
+	_ = For(context.Background(), 1<<16, 4, 1, func(start, end int) error { return nil })
+	t.Fatal("For returned instead of panicking")
+}
+
+// TestSiteParallelWorkerInertSequential: the site lives in the worker
+// chunk loop only, so the exact sequential path (workers == 1) never
+// fires it — parallelism 1 stays byte-identical to the pre-parallel
+// code even under the fault harness.
+func TestSiteParallelWorkerInertSequential(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	fault.Arm(fault.SiteParallelWorker, -1)
+
+	if err := For(context.Background(), 1<<16, 1, 1, func(start, end int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n := fault.Fired(fault.SiteParallelWorker); n != 0 {
+		t.Fatalf("sequential path fired the worker site %d times, want 0", n)
+	}
+}
+
+// TestObserveAndArmAfter covers the new sweep primitives: Observe
+// counts without misbehaving; ArmAfter skips the first k firings.
+func TestObserveAndArmAfter(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+
+	fault.Observe(fault.SiteParallelWorker)
+	if err := For(context.Background(), 1<<16, 4, 1, func(start, end int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	total := fault.Fired(fault.SiteParallelWorker)
+	if total == 0 {
+		t.Fatal("Observe counted 0 executions of the worker site on a parallel run")
+	}
+
+	// Skip more executions than occur: nothing fires.
+	fault.Reset()
+	fault.ArmAfter(fault.SiteParallelWorker, total*4+16, 1)
+	if err := For(context.Background(), 1<<16, 4, 1, func(start, end int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n := fault.Fired(fault.SiteParallelWorker); n != 0 {
+		t.Fatalf("ArmAfter with a large skip fired %d times, want 0", n)
+	}
+
+	// Skip zero: behaves like Arm(site, 1).
+	fault.Reset()
+	fault.ArmAfter(fault.SiteParallelWorker, 0, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ArmAfter(0, 1) did not fire")
+			}
+		}()
+		_ = For(context.Background(), 1<<16, 4, 1, func(start, end int) error { return nil })
+	}()
+}

@@ -139,9 +139,9 @@ type Pool struct {
 	mu       sync.RWMutex
 	shutdown bool
 
-	admitted, completed            atomic.Uint64
-	shedOverload, shedDeadline     atomic.Uint64
-	canceled, rejectedShutdown     atomic.Uint64
+	admitted, completed        atomic.Uint64
+	shedOverload, shedDeadline atomic.Uint64
+	canceled, rejectedShutdown atomic.Uint64
 	queuedGauge, inFlightGauge atomic.Int64
 }
 

@@ -1,40 +1,51 @@
 package skyline
 
 import (
-	"runtime"
+	"context"
 	"sort"
 	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/parallel"
 )
+
+// mergeParGrain is the minimum chunk of candidates per fan-out unit
+// in the cross-filter merge; each candidate costs a dominance scan
+// over the opposite half's skyline.
+const mergeParGrain = 64
+
+// mergeParThreshold is the candidate count below which the
+// cross-filter stays sequential.
+const mergeParThreshold = 2048
 
 // ComputeParallel computes the skyline with the divide & conquer
 // algorithm, running the two recursive halves concurrently down to a
-// depth that saturates `workers` goroutines (0 means GOMAXPROCS).
-// Output is identical to Compute with DC.
+// depth that saturates `workers` goroutines (0 means the process
+// default) and fanning the cross-filter merges out over the same
+// worker budget. Output is identical to Compute with DC.
 func ComputeParallel(pts []geom.Vector, workers int) ([]int, error) {
 	if err := validate(pts); err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	w := parallel.Resolve(workers)
 	depth := 0
-	for 1<<depth < workers {
+	for 1<<depth < w {
 		depth++
 	}
 	idx := make([]int, len(pts))
 	for i := range idx {
 		idx[i] = i
 	}
-	out := dcParallel(pts, idx, depth)
+	out := dcParallel(pts, idx, depth, w)
 	sort.Ints(out)
 	return out, nil
 }
 
 // dcParallel mirrors dcRec, spawning goroutines for the first
-// `depth` split levels.
-func dcParallel(pts []geom.Vector, idx []int, depth int) []int {
+// `depth` split levels. The two halves share the worker budget; the
+// merge at each level runs after both halves return and may use the
+// full budget of its subtree.
+func dcParallel(pts []geom.Vector, idx []int, depth, workers int) []int {
 	if depth <= 0 || len(idx) <= 2048 {
 		return dcRec(pts, idx)
 	}
@@ -52,41 +63,67 @@ func dcParallel(pts []geom.Vector, idx []int, depth int) []int {
 	})
 	mid := len(sorted) / 2
 	low, high := sorted[:mid], sorted[mid:]
+	half := (workers + 1) / 2
 	var skyLow, skyHigh []int
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		skyLow = dcParallel(pts, low, depth-1)
+		skyLow = dcParallel(pts, low, depth-1, half)
 	}()
-	skyHigh = dcParallel(pts, high, depth-1)
+	skyHigh = dcParallel(pts, high, depth-1, half)
 	wg.Wait()
 	// Same two-way cross-filter as the sequential merge (see dcRec
-	// for why high-vs-low is required under first-dimension ties).
+	// for why high-vs-low is required under first-dimension ties),
+	// with each direction's dominance scans fanned out: survivors are
+	// flagged per slot and collected in the sequential order.
 	merged := make([]int, 0, len(skyLow)+len(skyHigh))
-	for _, hi := range skyHigh {
-		dominated := false
-		for _, li := range skyLow {
-			if geom.Dominates(pts[li], pts[hi]) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			merged = append(merged, hi)
-		}
-	}
-	for _, li := range skyLow {
-		dominated := false
-		for _, hi := range skyHigh {
-			if geom.Dominates(pts[hi], pts[li]) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			merged = append(merged, li)
-		}
-	}
+	merged = appendUndominated(pts, merged, skyHigh, skyLow, workers)
+	merged = appendUndominated(pts, merged, skyLow, skyHigh, workers)
 	return merged
+}
+
+// appendUndominated appends to dst the members of cand not dominated
+// by any member of against, preserving cand order.
+func appendUndominated(pts []geom.Vector, dst, cand, against []int, workers int) []int {
+	if parallel.Resolve(workers) == 1 || len(cand) < mergeParThreshold {
+		for _, ci := range cand {
+			if !dominatedByAny(pts, pts[ci], against) {
+				dst = append(dst, ci)
+			}
+		}
+		return dst
+	}
+	keep := make([]bool, len(cand))
+	fill := func(start, end int) {
+		for i := start; i < end; i++ {
+			keep[i] = !dominatedByAny(pts, pts[cand[i]], against)
+		}
+	}
+	err := parallel.For(context.Background(), len(cand), workers, mergeParGrain, func(start, end int) error {
+		fill(start, end)
+		return nil
+	})
+	if err != nil {
+		// Unreachable — the context is never canceled and the body
+		// never fails — but correctness must not depend on that.
+		fill(0, len(cand))
+	}
+	for i, ok := range keep {
+		if ok {
+			dst = append(dst, cand[i])
+		}
+	}
+	return dst
+}
+
+// dominatedByAny reports whether p is dominated by any point of the
+// index set against.
+func dominatedByAny(pts []geom.Vector, p geom.Vector, against []int) bool {
+	for _, ai := range against {
+		if geom.Dominates(pts[ai], p) {
+			return true
+		}
+	}
+	return false
 }

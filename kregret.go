@@ -65,6 +65,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/happy"
+	"repro/internal/parallel"
 	"repro/internal/skyline"
 )
 
@@ -187,15 +188,22 @@ type options struct {
 }
 
 func defaultOptions() options {
-	return options{normalize: true, algorithm: AlgoGeoGreedy, candidates: CandidatesHappy, workers: 1, fallback: true}
+	return options{normalize: true, algorithm: AlgoGeoGreedy, candidates: CandidatesHappy, workers: 0, fallback: true}
 }
 
-// WithParallelism makes the candidate-set preprocessing (skyline and
-// happy-point extraction) use up to `workers` goroutines (0 means
-// GOMAXPROCS). The query algorithms themselves stay sequential,
-// mirroring the paper's implementation; preprocessing dominates the
-// total time on large datasets and parallelizes exactly. Only
-// meaningful as a NewDataset option.
+// WithParallelism bounds the intra-query parallelism at `workers`
+// goroutines: the candidate-set preprocessing (skyline and happy-point
+// extraction) and the solvers' hot loops — GeoGreedy's support scans
+// and re-location passes, Greedy's per-candidate LP solves, the exact
+// and sampled regret evaluations — all fan out up to this width. The
+// default 0 means the process default (GOMAXPROCS, overridable once
+// via the KREGRET_PARALLELISM environment variable); 1 is the exact
+// sequential path. Answers are byte-identical for every setting — the
+// fan-out uses deterministic index-ordered reductions — so the knob
+// trades only wall-clock against CPU.
+//
+// As a NewDataset option it sets the dataset-wide default; as a Query
+// option it overrides that default for one query.
 func WithParallelism(workers int) Option { return func(o *options) { o.workers = workers } }
 
 // WithoutNormalization makes NewDataset keep coordinates as given.
@@ -289,7 +297,7 @@ func (d *Dataset) Point(i int) Point {
 // share the computation.
 func (d *Dataset) Skyline() ([]int, error) {
 	d.skyOnce.Do(func() {
-		if d.workers == 1 {
+		if parallel.Resolve(d.workers) == 1 {
 			d.sky, d.skyErr = skyline.Of(d.pts)
 		} else {
 			d.sky, d.skyErr = skyline.ComputeParallel(d.pts, d.workers)
@@ -314,7 +322,7 @@ func (d *Dataset) HappyPoints() ([]int, error) {
 			d.happyErr = err
 			return
 		}
-		if d.workers == 1 {
+		if parallel.Resolve(d.workers) == 1 {
 			d.happy = happy.ComputeAmongSkyline(d.pts, d.sky)
 		} else {
 			d.happy = happy.ComputeAmongSkylineParallel(d.pts, d.sky, d.workers)
@@ -404,6 +412,7 @@ func (d *Dataset) Query(k int, opts ...Option) (*Answer, error) {
 // any work is done.
 func (d *Dataset) QueryContext(ctx context.Context, k int, opts ...Option) (*Answer, error) {
 	o := defaultOptions()
+	o.workers = d.workers // dataset-wide default, overridable per query
 	for _, f := range opts {
 		f(&o)
 	}
@@ -454,7 +463,7 @@ type degradation struct {
 // strictly weaker or slower) algorithm below it — Greedy, then Cube.
 // Cancellation and invalid-input errors are never retried.
 func solveWithFallback(ctx context.Context, o *options, candPts []geom.Vector, k int) (*core.Result, degradation, error) {
-	res, err := runSolver(ctx, o.algorithm, candPts, k, o.candidates)
+	res, err := runSolver(ctx, o.algorithm, candPts, k, o.candidates, o.workers)
 	if err == nil {
 		return res, degradation{algorithm: o.algorithm}, nil
 	}
@@ -467,7 +476,7 @@ func solveWithFallback(ctx context.Context, o *options, candPts []geom.Vector, k
 	// candidates — a ~1e-9 relative nudge resolves exact-degeneracy
 	// ties (coplanar points, duplicate coordinates) without moving
 	// any regret ratio beyond float noise.
-	if res, err2 := runSolver(ctx, o.algorithm, perturbed(candPts), k, o.candidates); err2 == nil {
+	if res, err2 := runSolver(ctx, o.algorithm, perturbed(candPts), k, o.candidates, o.workers); err2 == nil {
 		return res, degradation{
 			algorithm: o.algorithm,
 			degraded:  true,
@@ -485,7 +494,7 @@ func solveWithFallback(ctx context.Context, o *options, candPts []geom.Vector, k
 	// through LPs with no incremental hull state; Cube is non-
 	// adaptive arithmetic that cannot fail numerically.
 	for _, alg := range fallbackChain(o.algorithm) {
-		res, err2 := runSolver(ctx, alg, candPts, k, o.candidates)
+		res, err2 := runSolver(ctx, alg, candPts, k, o.candidates, o.workers)
 		if err2 == nil {
 			return res, degradation{
 				algorithm: alg,
@@ -532,9 +541,11 @@ func retriable(err error) bool {
 }
 
 // runSolver executes one solver over the candidate points inside the
-// panic boundary: a panic anywhere in the geometry core surfaces as a
-// *NumericalError instead of unwinding into the caller's goroutine.
-func runSolver(ctx context.Context, alg Algorithm, candPts []geom.Vector, k int, cs CandidateSet) (res *core.Result, err error) {
+// panic boundary: a panic anywhere in the geometry core — including
+// one recaptured from a parallel worker goroutine and re-raised here —
+// surfaces as a *NumericalError instead of unwinding into the caller's
+// goroutine.
+func runSolver(ctx context.Context, alg Algorithm, candPts []geom.Vector, k int, cs CandidateSet, workers int) (res *core.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -550,9 +561,9 @@ func runSolver(ctx context.Context, alg Algorithm, candPts []geom.Vector, k int,
 	}()
 	switch alg {
 	case AlgoGeoGreedy:
-		res, err = core.GeoGreedyCtx(ctx, candPts, k)
+		res, err = core.GeoGreedyParCtx(ctx, candPts, k, workers)
 	case AlgoGreedy:
-		res, err = core.GreedyCtx(ctx, candPts, k)
+		res, err = core.GreedyParCtx(ctx, candPts, k, workers)
 	case AlgoCube:
 		res, err = core.CubeCtx(ctx, candPts, k)
 	default:
@@ -603,11 +614,13 @@ func (d *Dataset) EvaluateMRR(selection []int) (float64, error) {
 }
 
 // EvaluateMRRContext is EvaluateMRR bounded by a context (see
-// QueryContext for the cancellation granularity).
+// QueryContext for the cancellation granularity). The per-point
+// support scan fans out over the dataset's parallelism (see
+// WithParallelism); the result is identical for every width.
 func (d *Dataset) EvaluateMRRContext(ctx context.Context, selection []int) (float64, error) {
 	var mrr float64
 	err := d.protect("EvaluateMRR", func() error {
-		m, err := core.MRRGeometricCtx(ctx, d.pts, selection)
+		m, err := core.MRRGeometricParCtx(ctx, d.pts, selection, d.workers)
 		if err != nil {
 			return fmt.Errorf("kregret: %w", err)
 		}
@@ -660,7 +673,7 @@ func (d *Dataset) validateWeights(weights Point) error {
 // utility functions drawn uniformly from the non-negative unit
 // sphere (a Monte-Carlo extension beyond the paper).
 func (d *Dataset) AverageRegret(selection []int, samples int, seed int64) (float64, error) {
-	r, err := core.AverageRegretSampled(d.pts, selection, samples, seed)
+	r, err := core.AverageRegretSampledParCtx(context.Background(), d.pts, selection, samples, seed, d.workers)
 	if err != nil {
 		return 0, fmt.Errorf("kregret: %w", err)
 	}
@@ -745,9 +758,9 @@ func (d *Dataset) buildIndex(ctx context.Context, maxK int) (*Index, error) {
 	err = d.protect("BuildIndex", func() error {
 		var err error
 		if maxK <= 0 {
-			list, err = core.BuildStoredListCtx(ctx, candPts)
+			list, err = core.BuildStoredListParCtx(ctx, candPts, d.workers)
 		} else {
-			list, err = core.BuildStoredListUpToCtx(ctx, candPts, maxK)
+			list, err = core.BuildStoredListUpToParCtx(ctx, candPts, maxK, d.workers)
 		}
 		if err != nil {
 			return fmt.Errorf("kregret: %w", err)
