@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet kregret-vet test test-race test-debug test-fault test-serve fuzz-smoke bench bench-smoke check
+.PHONY: build vet kregret-vet test test-race test-debug test-fault test-serve fuzz-smoke bench bench-diff bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -43,21 +43,30 @@ test-serve:
 		./internal/serve .
 
 # Short native-fuzzing pass over the public constructors, the query
-# path and the snapshot decoder: degenerate datasets must produce an
-# error or a valid Answer, corrupt snapshots a typed error — never a
-# panic.
+# path, the snapshot decoder and the flat-matrix kernels: degenerate
+# datasets must produce an error or a valid Answer, corrupt snapshots
+# a typed error — never a panic — and the kernels must match the
+# scalar reference bit-for-bit on arbitrary float bit patterns.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzNewDataset -fuzztime=10s .
 	$(GO) test -run=^$$ -fuzz=FuzzQuery -fuzztime=10s .
 	$(GO) test -run=^$$ -fuzz=FuzzLoadIndex -fuzztime=10s .
+	$(GO) test -run=^$$ -fuzz=FuzzKernels -fuzztime=10s ./internal/mat
 
-# Performance baseline: runs BenchmarkPaper at parallelism 1 and
-# GOMAXPROCS and writes BENCH_<rev>.json (ns/op, allocs/op, speedup).
-# Compare the json against the previous revision's before merging perf
-# work; the interesting regressions are allocs/op (the scratch pools)
-# and the sequential ns/op (parallelism must not tax workers=1).
+# Performance baseline: runs BenchmarkPaper at parallelism 1 and 4,
+# three passes each (keeping the per-benchmark noise floor), and
+# writes BENCH_<rev>.json (ns/op, allocs/op, speedup). Compare the
+# json against the previous revision's before merging perf work; the
+# interesting regressions are allocs/op (the scratch pools) and the
+# sequential ns/op (parallelism must not tax workers=1).
 bench:
-	$(GO) run ./cmd/benchbaseline
+	$(GO) run ./cmd/benchbaseline -parallelism 4 -count 3
+
+# Baseline plus comparison: records the same report, then diffs it
+# against the most recent earlier BENCH_*.json and fails on a >10%
+# sequential ns/op regression (when n and benchtime match).
+bench-diff:
+	$(GO) run ./cmd/benchbaseline -parallelism 4 -count 3 -diff latest
 
 # Same harness at toy size: proves the flag plumbing, the bench run
 # and the json writer end to end in seconds, then asserts sequential

@@ -9,11 +9,25 @@
 // Usage:
 //
 //	go run ./cmd/benchbaseline [-parallelism N] [-n 100000] \
-//	    [-benchtime 2x] [-bench Paper] [-out BENCH_<rev>.json]
+//	    [-benchtime 2x] [-bench Paper] [-count 1] \
+//	    [-out BENCH_<rev>.json] [-diff latest|path]
 //
 // The -n flag feeds the suite's -kregret.benchn dataset size; smoke
 // runs (make bench-smoke) lower it so the suite finishes in seconds
 // and merely proves the harness end to end.
+//
+// -count repeats each pass and keeps the per-benchmark minimum of
+// every measurement — the noise floor, which is what a baseline
+// should record on a shared machine.
+//
+// -diff compares the freshly-recorded report against an earlier
+// BENCH_*.json ("latest" picks the most recent one by recorded date,
+// excluding the file just written) and prints per-benchmark
+// sequential ns/op and allocs/op deltas. When the baseline was taken
+// with the same -n and -benchtime, a sequential ns/op regression
+// above 10% on any benchmark exits nonzero so CI can gate on it;
+// with mismatched parameters the diff is advisory and the gate is
+// skipped.
 package main
 
 import (
@@ -22,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"strconv"
@@ -70,7 +85,9 @@ func main() {
 		n         = flag.Int("n", 100000, "BenchmarkPaper dataset size")
 		benchtime = flag.String("benchtime", "2x", "go test -benchtime value")
 		bench     = flag.String("bench", "Paper", "go test -bench regexp")
+		count     = flag.Int("count", 1, "passes per width; the minimum of each measurement is kept")
 		out       = flag.String("out", "", "output path (default BENCH_<rev>.json)")
+		diff      = flag.String("diff", "", "compare against a BENCH_*.json (\"latest\" = newest by date)")
 	)
 	flag.Parse()
 	if *parallelism < 2 {
@@ -79,12 +96,16 @@ func main() {
 			*parallelism)
 	}
 
+	if *count < 1 {
+		fatal(fmt.Errorf("-count must be at least 1, got %d", *count))
+	}
+
 	rev := gitRev()
-	seq, cpu, err := runPass(1, *n, *benchtime, *bench)
+	seq, cpu, err := runPasses(1, *n, *count, *benchtime, *bench)
 	if err != nil {
 		fatal(err)
 	}
-	par, _, err := runPass(*parallelism, *n, *benchtime, *bench)
+	par, _, err := runPasses(*parallelism, *n, *count, *benchtime, *bench)
 	if err != nil {
 		fatal(err)
 	}
@@ -130,12 +151,167 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("wrote %s (rev %s, n=%d, parallelism 1 vs %d)\n", path, rev, *n, *parallelism)
+	fmt.Printf("wrote %s (rev %s, n=%d, parallelism 1 vs %d, count %d)\n", path, rev, *n, *parallelism, *count)
 	fmt.Printf("%-40s %14s %14s %8s %7s\n", "benchmark", "seq ns/op", "par ns/op", "speedup", "allocΔ")
 	for _, e := range rep.Benchmarks {
 		fmt.Printf("%-40s %14.0f %14.0f %7.2fx %6.2fx\n",
 			e.Name, e.Seq.NsPerOp, e.Par.NsPerOp, e.Speedup, e.AllocRatio)
 	}
+
+	if *diff != "" {
+		basePath := *diff
+		if basePath == "latest" {
+			basePath, err = latestBaseline(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchbaseline: no baseline to diff against: %v\n", err)
+				return
+			}
+		}
+		base, err := readReport(basePath)
+		if err != nil {
+			fatal(err)
+		}
+		if regressed := diffReports(rep, base, basePath); regressed {
+			os.Exit(1)
+		}
+	}
+}
+
+// latestBaseline picks the most recent BENCH_*.json in the working
+// directory by its recorded date (RFC3339 strings order lexically),
+// skipping the report just written.
+func latestBaseline(exclude string) (string, error) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", err
+	}
+	best, bestDate := "", ""
+	for _, m := range matches {
+		if filepath.Clean(m) == filepath.Clean(exclude) {
+			continue
+		}
+		r, err := readReport(m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchbaseline: skipping %s: %v\n", m, err)
+			continue
+		}
+		if r.Date > bestDate {
+			best, bestDate = m, r.Date
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no other BENCH_*.json found")
+	}
+	return best, nil
+}
+
+func readReport(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// regressionThreshold is the sequential ns/op increase (relative to
+// the baseline) above which the diff exits nonzero.
+const regressionThreshold = 0.10
+
+// diffReports prints the per-benchmark delta table and reports
+// whether any benchmark regressed past the threshold under
+// comparable parameters.
+func diffReports(cur, base report, basePath string) bool {
+	comparable := cur.N == base.N && cur.Benchtime == base.Benchtime
+	fmt.Printf("\ndiff vs %s (rev %s)\n", basePath, base.Revision)
+	if !comparable {
+		fmt.Printf("  parameters differ (n=%d benchtime=%s vs n=%d benchtime=%s): advisory only, regression gate skipped\n",
+			cur.N, cur.Benchtime, base.N, base.Benchtime)
+	}
+	baseBy := make(map[string]entry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseBy[e.Name] = e
+	}
+	fmt.Printf("%-40s %14s %14s %8s %8s\n", "benchmark", "base ns/op", "new ns/op", "Δns/op", "Δallocs")
+	regressed := false
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, e := range cur.Benchmarks {
+		seen[e.Name] = true
+		b, ok := baseBy[e.Name]
+		if !ok {
+			fmt.Printf("%-40s %14s %14.0f %8s %8s\n", e.Name, "(new)", e.Seq.NsPerOp, "", "")
+			continue
+		}
+		nsDelta := ratioDelta(e.Seq.NsPerOp, b.Seq.NsPerOp)
+		allocDelta := ratioDelta(float64(e.Seq.AllocsPerOp), float64(b.Seq.AllocsPerOp))
+		mark := ""
+		if comparable && nsDelta > regressionThreshold {
+			mark = "  << regression"
+			regressed = true
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%% %+7.1f%%%s\n",
+			e.Name, b.Seq.NsPerOp, e.Seq.NsPerOp, 100*nsDelta, 100*allocDelta, mark)
+	}
+	for _, e := range base.Benchmarks {
+		if !seen[e.Name] {
+			fmt.Printf("%-40s %14.0f %14s\n", e.Name, e.Seq.NsPerOp, "(gone)")
+		}
+	}
+	if regressed {
+		fmt.Printf("sequential ns/op regressed more than %.0f%% against %s\n", 100*regressionThreshold, basePath)
+	}
+	return regressed
+}
+
+// ratioDelta is (new-old)/old, with a zero baseline treated as no
+// delta (B/op-less rows and zero-alloc benchmarks).
+func ratioDelta(cur, base float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (cur - base) / base
+}
+
+// runPasses repeats runPass `count` times at one width and folds the
+// per-benchmark minimum of each measurement field — the noise floor.
+// Benchmarks must appear in every pass to survive the fold.
+func runPasses(workers, n, count int, benchtime, bench string) (map[string]measurement, string, error) {
+	var acc map[string]measurement
+	cpu := ""
+	for pass := 0; pass < count; pass++ {
+		res, c, err := runPass(workers, n, benchtime, bench)
+		if err != nil {
+			return nil, "", err
+		}
+		if c != "" {
+			cpu = c
+		}
+		if acc == nil {
+			acc = res
+			continue
+		}
+		for name, m := range res {
+			b, ok := acc[name]
+			if !ok {
+				acc[name] = m
+				continue
+			}
+			if m.NsPerOp < b.NsPerOp {
+				b.NsPerOp = m.NsPerOp
+			}
+			if m.BytesPerOp < b.BytesPerOp {
+				b.BytesPerOp = m.BytesPerOp
+			}
+			if m.AllocsPerOp < b.AllocsPerOp {
+				b.AllocsPerOp = m.AllocsPerOp
+			}
+			acc[name] = b
+		}
+	}
+	return acc, cpu, nil
 }
 
 // runPass executes one `go test -bench` invocation at the given

@@ -20,13 +20,14 @@ import (
 	"repro/internal/fault"
 )
 
-// parallelFaultDataset is faultDataset scaled up past the fan-out
-// threshold: GeoGreedy's support scan chunks at a 256-index grain, so
-// 1500 points split into ≥ 2 chunks and the worker loop — where
-// SiteParallelWorker fires — actually runs.
+// parallelFaultDataset is faultDataset scaled up past every fan-out
+// threshold (`n < 2·grain` runs inline): GeoGreedy's support scan
+// chunks at a 256-index grain and Greedy's LP sweep at 1024, so 2500
+// points split every solver stage into ≥ 2 chunks and the worker
+// loop — where SiteParallelWorker fires — actually runs in each.
 func parallelFaultDataset(t *testing.T) *Dataset {
 	t.Helper()
-	ds, err := NewDataset(testPoints(1500, 3, 5))
+	ds, err := NewDataset(testPoints(2500, 3, 5))
 	if err != nil {
 		t.Fatal(err)
 	}

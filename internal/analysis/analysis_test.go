@@ -117,6 +117,13 @@ func TestParallelForFixture(t *testing.T) {
 	runFixture(t, "parfor", "repro/internal/parforfix", "slicealias")
 }
 
+func TestMatRowFixture(t *testing.T) {
+	// The import path deliberately contains "/internal/": the Row-view
+	// check must run before the internal-package exemption of the
+	// aliasing check, because the PointMatrix hot paths are internal.
+	runFixture(t, "matrow", "repro/internal/matrowfix", "slicealias")
+}
+
 func TestNaNInfFixture(t *testing.T) {
 	runFixture(t, "naninf", "naninffix", "naninf")
 }

@@ -33,9 +33,11 @@ var SliceAlias = &Analyzer{
 }
 
 func runSliceAlias(pass *Pass) {
-	// The parallel-body check runs everywhere — internal packages are
-	// exactly where the parallel.For call sites live.
+	// The parallel-body and Row-view checks run everywhere — internal
+	// packages are exactly where the parallel.For call sites and the
+	// mat.PointMatrix hot paths live.
 	checkParallelFor(pass)
+	checkMatRow(pass)
 	if strings.Contains(pass.Pkg.Path+"/", "/internal/") {
 		return
 	}
@@ -191,6 +193,184 @@ func checkAliasing(pass *Pass, fn *ast.FuncDecl) {
 				}
 				if taintedExpr(v) {
 					pass.Reportf(v.Pos(), "%s stores caller-provided float slice in composite literal without copying", fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMatRow enforces the aliasing discipline of PointMatrix.Row
+// (package mat): Row returns a capacity-trimmed window into the
+// matrix's shared backing array, valid only as a transient read-only
+// view. Writing through a view mutates the dataset under every
+// concurrent reader, and a view that escapes its function — returned,
+// stored in a field or global, kept in a composite literal, or
+// retained by `append(dst, view)` — outlives the read-only bargain.
+// The check keys on the named type PointMatrix, so linalg.Matrix.Row,
+// whose row views are mutable by design, is unaffected; appending TO
+// a view (`append(view, x)`) is also fine, because the trimmed
+// capacity forces a reallocation.
+//
+// Like the parallel-body check, this runs before the
+// internal-package exemption: the discipline protects the hot paths
+// themselves, not just the API boundary.
+func checkMatRow(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMatRowFunc(pass, fn)
+		}
+	}
+}
+
+func checkMatRowFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// isRowCall matches `x.Row(i)` where x is a PointMatrix or a
+	// pointer to one, by the receiver's named type.
+	isRowCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Row" {
+			return false
+		}
+		tv, ok := info.Types[sel.X]
+		if !ok {
+			return false
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Name() == "PointMatrix"
+	}
+
+	// views holds locals known to alias a Row view.
+	views := map[types.Object]bool{}
+	var viewExpr func(e ast.Expr) bool
+	viewExpr = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return views[info.Uses[e]]
+		case *ast.ParenExpr:
+			return viewExpr(e.X)
+		case *ast.SliceExpr:
+			return viewExpr(e.X)
+		case *ast.CallExpr:
+			return isRowCall(e)
+		}
+		return false
+	}
+
+	isLocal := func(e ast.Expr) (types.Object, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj, true
+		}
+		if obj, ok := info.Uses[id].(*types.Var); ok && obj.Parent() != obj.Pkg().Scope() {
+			return obj, true
+		}
+		return nil, false
+	}
+
+	// Propagate view-ness through local assignments to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				if !viewExpr(assign.Rhs[i]) {
+					continue
+				}
+				if obj, ok := isLocal(lhs); ok && !views[obj] {
+					views[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && viewExpr(idx.X) {
+					pass.Reportf(lhs.Pos(),
+						"%s writes through a PointMatrix.Row view; views are read-only windows into the shared matrix", fn.Name.Name)
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if rhs == nil || !viewExpr(rhs) {
+					continue
+				}
+				if _, ok := isLocal(lhs); ok {
+					continue // tracked by propagation
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				pass.Reportf(rhs.Pos(),
+					"%s stores a PointMatrix.Row view beyond the local scope; copy the row instead", fn.Name.Name)
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && viewExpr(idx.X) {
+				pass.Reportf(n.X.Pos(),
+					"%s writes through a PointMatrix.Row view; views are read-only windows into the shared matrix", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			switch {
+			case id.Name == "copy" && len(n.Args) == 2 && viewExpr(n.Args[0]):
+				pass.Reportf(n.Args[0].Pos(),
+					"%s copies into a PointMatrix.Row view; views are read-only windows into the shared matrix", fn.Name.Name)
+			case id.Name == "append" && len(n.Args) > 1:
+				for _, a := range n.Args[1:] {
+					if viewExpr(a) {
+						pass.Reportf(a.Pos(),
+							"%s appends a PointMatrix.Row view to a slice, retaining the alias; copy the row instead", fn.Name.Name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if viewExpr(res) {
+					pass.Reportf(res.Pos(),
+						"%s returns a PointMatrix.Row view; the view aliases the matrix backing array — copy the row instead", fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if viewExpr(v) {
+					pass.Reportf(v.Pos(),
+						"%s stores a PointMatrix.Row view in a composite literal; copy the row instead", fn.Name.Name)
 				}
 			}
 		}

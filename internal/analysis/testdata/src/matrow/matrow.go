@@ -1,0 +1,130 @@
+// Package matrow seeds violations of the PointMatrix.Row aliasing
+// discipline (checked by the slicealias analyzer): Row returns a
+// capacity-trimmed read-only window into the matrix's shared backing
+// array, so writing through a view or letting one escape the
+// function corrupts (or races with) every concurrent reader. The
+// stub below mirrors internal/mat's shape — fixture packages may
+// import only the standard library, and the analyzer matches the
+// named receiver type PointMatrix.
+package matrow
+
+// PointMatrix is the fixture stand-in for mat.PointMatrix.
+type PointMatrix struct {
+	data []float64
+	n, d int
+}
+
+// Row mirrors mat's capacity-trimmed view accessor.
+func (m *PointMatrix) Row(i int) []float64 {
+	return m.data[i*m.d : (i+1)*m.d : (i+1)*m.d]
+}
+
+// Rows reports the number of points.
+func (m *PointMatrix) Rows() int { return m.n }
+
+// Matrix mirrors linalg.Matrix: its row views are mutable by design,
+// so writes through Matrix.Row must stay unflagged.
+type Matrix struct {
+	data []float64
+	cols int
+}
+
+// Row returns a mutable row view (the linalg contract).
+func (m *Matrix) Row(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// writeThroughCall writes straight through a fresh view expression.
+func writeThroughCall(m *PointMatrix) {
+	m.Row(0)[0] = 1 // want: slicealias
+}
+
+// writeThroughLocal stores the view first; the taint must follow the
+// local through the assignment, the compound write, and the IncDec.
+func writeThroughLocal(m *PointMatrix) {
+	v := m.Row(1)
+	v[2] = 9  // want: slicealias
+	v[0] += 1 // want: slicealias
+	v[1]++    // want: slicealias
+}
+
+// copyIntoView scribbles over the shared backing array via the copy
+// builtin's destination argument.
+func copyIntoView(m *PointMatrix, src []float64) {
+	copy(m.Row(0), src) // want: slicealias
+}
+
+// returnView leaks the view to the caller, who has no way to know it
+// aliases the matrix.
+func returnView(m *PointMatrix) []float64 {
+	return m.Row(2) // want: slicealias
+}
+
+// returnLocalView leaks it through a local and a re-slice.
+func returnLocalView(m *PointMatrix) []float64 {
+	v := m.Row(2)
+	return v[1:] // want: slicealias
+}
+
+type holder struct {
+	row  []float64
+	rows [][]float64
+}
+
+// storeField retains the view past the function's lifetime.
+func storeField(m *PointMatrix, h *holder) {
+	h.row = m.Row(0) // want: slicealias
+}
+
+// appendRetains keeps the alias alive inside a slice of slices.
+func appendRetains(m *PointMatrix) {
+	var rows [][]float64
+	for i := 0; i < m.Rows(); i++ {
+		rows = append(rows, m.Row(i)) // want: slicealias
+	}
+	_ = rows
+}
+
+// compositeRetains embeds the view in a literal that outlives it.
+func compositeRetains(m *PointMatrix) holder {
+	return holder{rows: [][]float64{m.Row(0)}} // want: slicealias
+}
+
+// readOnlyUses is the sanctioned idiom: views are read in place,
+// passed as call arguments, copied OUT of, or appended TO (the
+// trimmed capacity forces a reallocation) — none of it flagged.
+func readOnlyUses(m *PointMatrix, w []float64) float64 {
+	v := m.Row(0)
+	s := 0.0
+	for j, x := range v {
+		s += x * w[j]
+	}
+	s += dot(m.Row(1), w)
+	dst := make([]float64, len(v))
+	copy(dst, m.Row(0))
+	grown := append(m.Row(0), 1.0)
+	grown[0] = 7 // fresh backing array, not the matrix
+	return s + dst[0] + grown[0]
+}
+
+// mutableMatrix writes through linalg-style Matrix.Row views, which
+// are mutable by contract and must not be flagged.
+func mutableMatrix(m *Matrix, src []float64) {
+	m.Row(0)[0] = 1
+	r := m.Row(1)
+	r[0] += 2
+	copy(m.Row(2), src)
+}
+
+// allowedEscape shows the reviewed-exception hatch.
+func allowedEscape(m *PointMatrix) []float64 {
+	return m.Row(0) //kregret:allow slicealias: caller is the matrix owner and reads only
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

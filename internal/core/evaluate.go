@@ -7,9 +7,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/assert"
 	"repro/internal/geom"
-	"repro/internal/parallel"
 )
 
 // ErrEmptySelection is returned when evaluating an empty selection.
@@ -52,46 +50,17 @@ func MRRGeometricCtx(ctx context.Context, pts []geom.Vector, sel []int) (float64
 // the max reduction is order-independent, so the result is identical
 // for every worker count; a NaN support poisons the reduction and
 // surfaces as ErrDegenerate instead of being silently dropped.
+//
+// The free function builds a transient unpruned EvalIndex per call;
+// callers evaluating the same dataset repeatedly should hold an
+// EvalIndex (optionally with its extreme set installed) and use its
+// methods, which is what package kregret's Dataset does.
 func MRRGeometricParCtx(ctx context.Context, pts []geom.Vector, sel []int, workers int) (float64, error) {
-	if _, err := validatePoints(pts); err != nil {
-		return 0, err
-	}
-	if err := checkSelection(pts, sel); err != nil {
-		return 0, err
-	}
-	selPts := make([]geom.Vector, len(sel))
-	for i, s := range sel {
-		selPts[i] = pts[s]
-	}
-	hull, err := newDualHull(maxPerDim(selPts))
+	x, err := NewEvalIndex(pts)
 	if err != nil {
 		return 0, err
 	}
-	for _, p := range selPts {
-		if _, err := hull.insert(ctx, p); err != nil {
-			return 0, err
-		}
-	}
-	idx, maxSupport, err := parallel.ArgMax(ctx, len(pts), workers, grainSupport, func(qi int) (float64, bool) {
-		s, _ := hull.supportOf(pts[qi])
-		return s, true
-	})
-	if err != nil {
-		var nanErr *parallel.NaNError
-		if errors.As(err, &nanErr) {
-			return 0, fmt.Errorf("%w: point %d has NaN support in regret evaluation",
-				ErrDegenerate, nanErr.Index)
-		}
-		return 0, fmt.Errorf("core: regret evaluation canceled: %w", err)
-	}
-	if idx < 0 || maxSupport <= 1 {
-		return 0, nil
-	}
-	mrr := 1 - 1/maxSupport
-	if assert.Enabled {
-		assert.UnitRange("MRRGeometric", mrr, geom.Eps)
-	}
-	return mrr, nil
+	return x.MRRGeometricParCtx(ctx, sel, workers)
 }
 
 // MRRByLP computes the same quantity with one linear program per
@@ -139,57 +108,11 @@ func MRRSampled(pts []geom.Vector, sel []int, samples int, seed int64) (float64,
 // per-sample slots, and the max fold is order-independent — the
 // estimate is byte-identical to the sequential one.
 func MRRSampledParCtx(ctx context.Context, pts []geom.Vector, sel []int, samples int, seed int64, workers int) (float64, error) {
-	regrets, err := sampledRegrets(ctx, pts, sel, samples, seed, workers)
+	x, err := NewEvalIndex(pts)
 	if err != nil {
 		return 0, err
 	}
-	defer putFloatScratch(regrets)
-	worst := 0.0
-	for _, r := range regrets {
-		if r > worst {
-			worst = r
-		}
-	}
-	return worst, nil
-}
-
-// sampledRegrets draws `samples` utilities from the seeded generator
-// and fills their regret ratios, fanning the per-utility evaluation
-// (two O(n·d) scans each) out over the workers. The returned slice
-// comes from the scratch pool; the caller must putFloatScratch it.
-func sampledRegrets(ctx context.Context, pts []geom.Vector, sel []int, samples int, seed int64, workers int) ([]float64, error) {
-	if _, err := validatePoints(pts); err != nil {
-		return nil, err
-	}
-	if err := checkSelection(pts, sel); err != nil {
-		return nil, err
-	}
-	if samples < 1 {
-		return nil, fmt.Errorf("core: samples must be positive, got %d", samples)
-	}
-	d := len(pts[0])
-	rng := rand.New(rand.NewSource(seed))
-	ws := make([]geom.Vector, samples)
-	for s := range ws {
-		ws[s] = randomUtility(rng, d)
-	}
-	regrets := floatScratch(samples)
-	err := parallel.For(ctx, samples, workers, 1, func(start, end int) error {
-		for s := start; s < end; s++ {
-			if (s-start)%sampleCtxBatch == 0 {
-				if err := ctx.Err(); err != nil {
-					return fmt.Errorf("core: sampled regret evaluation canceled: %w", err)
-				}
-			}
-			regrets[s] = regretOf(pts, sel, ws[s])
-		}
-		return nil
-	})
-	if err != nil {
-		putFloatScratch(regrets)
-		return nil, err
-	}
-	return regrets, nil
+	return x.MRRSampledParCtx(ctx, sel, samples, seed, workers)
 }
 
 // sampleCtxBatch is the number of per-utility regret evaluations
@@ -211,59 +134,21 @@ func AverageRegretSampled(pts []geom.Vector, sel []int, samples int, seed int64)
 // order — float addition is order-dependent, and the sequential fold
 // keeps the estimate byte-identical for every worker count.
 func AverageRegretSampledParCtx(ctx context.Context, pts []geom.Vector, sel []int, samples int, seed int64, workers int) (float64, error) {
-	regrets, err := sampledRegrets(ctx, pts, sel, samples, seed, workers)
+	x, err := NewEvalIndex(pts)
 	if err != nil {
 		return 0, err
 	}
-	defer putFloatScratch(regrets)
-	var sum float64
-	for _, r := range regrets {
-		sum += r
-	}
-	// sampledRegrets rejects samples < 1, so the divisor is ≥ 1.
-	//kregret:allow naninf: samples validated positive above
-	return sum / float64(samples), nil
+	return x.AverageRegretSampledParCtx(ctx, sel, samples, seed, workers)
 }
 
 // RegretOf returns rr(S, f) for the linear utility with weight
 // vector w (Definition 1): 1 − max_{p∈S} w·p / max_{q∈D} w·q.
 func RegretOf(pts []geom.Vector, sel []int, w geom.Vector) (float64, error) {
-	if _, err := validatePoints(pts); err != nil {
+	x, err := NewEvalIndex(pts)
+	if err != nil {
 		return 0, err
 	}
-	if err := checkSelection(pts, sel); err != nil {
-		return 0, err
-	}
-	if err := geom.CheckSameDim(pts[0], w); err != nil {
-		return 0, fmt.Errorf("core: utility weights: %w", err)
-	}
-	if !w.NonNegative(0) {
-		return 0, fmt.Errorf("core: utility weights must be non-negative, got %v", w)
-	}
-	return regretOf(pts, sel, w), nil
-}
-
-func regretOf(pts []geom.Vector, sel []int, w geom.Vector) float64 {
-	bestAll := math.Inf(-1)
-	for _, p := range pts {
-		if u := w.Dot(p); u > bestAll {
-			bestAll = u
-		}
-	}
-	bestSel := math.Inf(-1)
-	for _, i := range sel {
-		if u := w.Dot(pts[i]); u > bestSel {
-			bestSel = u
-		}
-	}
-	if bestAll <= 0 {
-		return 0
-	}
-	r := 1 - bestSel/bestAll
-	if r < 0 {
-		return 0
-	}
-	return r
+	return x.RegretOf(sel, w)
 }
 
 // randomUtility draws a weight vector uniformly from the unit sphere
@@ -300,47 +185,21 @@ func WorstUtility(pts []geom.Vector, sel []int) (geom.Vector, int, error) {
 // WorstUtilityCtx is WorstUtility with cooperative cancellation (see
 // MRRGeometricCtx for the check granularity).
 func WorstUtilityCtx(ctx context.Context, pts []geom.Vector, sel []int) (geom.Vector, int, error) {
-	if _, err := validatePoints(pts); err != nil {
-		return nil, -1, err
-	}
-	if err := checkSelection(pts, sel); err != nil {
-		return nil, -1, err
-	}
-	selPts := make([]geom.Vector, len(sel))
-	for i, s := range sel {
-		selPts[i] = pts[s]
-	}
-	hull, err := newDualHull(maxPerDim(selPts))
+	return WorstUtilityParCtx(ctx, pts, sel, 1)
+}
+
+// WorstUtilityParCtx is WorstUtilityCtx with intra-query parallelism,
+// mirroring the other ParCtx signatures: the per-point support scan
+// fans out over up to `workers` goroutines (0 = the process default,
+// 1 = the exact sequential path) and the witness fold runs
+// sequentially in index order, so the answer is byte-identical at
+// every worker count.
+func WorstUtilityParCtx(ctx context.Context, pts []geom.Vector, sel []int, workers int) (geom.Vector, int, error) {
+	x, err := NewEvalIndex(pts)
 	if err != nil {
 		return nil, -1, err
 	}
-	for _, p := range selPts {
-		if _, err := hull.insert(ctx, p); err != nil {
-			return nil, -1, err
-		}
-	}
-	maxSupport, witness := 1.0+geom.Eps, -1
-	var worst geom.Vector
-	for qi, q := range pts {
-		if qi%scanBatch == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, -1, fmt.Errorf("core: worst-utility scan canceled: %w", err)
-			}
-		}
-		if s, v := hull.supportOf(q); s > maxSupport && v != nil {
-			maxSupport = s
-			witness = qi
-			worst = v.Point
-		}
-	}
-	if witness < 0 {
-		return nil, -1, nil
-	}
-	w, err := worst.Normalize()
-	if err != nil {
-		return nil, -1, fmt.Errorf("core: degenerate worst-case utility: %w", err)
-	}
-	return w, witness, nil
+	return x.WorstUtilityParCtx(ctx, sel, workers)
 }
 
 // SupportByLPForTest exposes the Greedy candidate LP to tests in

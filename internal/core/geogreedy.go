@@ -9,6 +9,7 @@ import (
 	"repro/internal/assert"
 	"repro/internal/fault"
 	"repro/internal/geom"
+	"repro/internal/mat"
 	"repro/internal/parallel"
 )
 
@@ -111,6 +112,11 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 		return nil, err
 	}
 
+	// Flat copy of the candidates: the support scans and re-location
+	// passes below run as contiguous kernels over qm instead of
+	// per-point Dot calls.
+	qm := mat.FromVectors(pts)
+
 	selected := make([]int, 0, k)
 	states := make([]candState, len(pts))
 
@@ -133,22 +139,34 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 
 	// Initial face assignment for every remaining candidate. The hull
 	// is read-only during the scan and each iteration writes only its
-	// own states entry, so the chunks are independent.
+	// own states entry, so the chunks are independent. Each chunk hands
+	// scanBatch-sized row ranges to the batched support kernel, then
+	// distributes the values into the per-candidate state (the taken
+	// few are computed and discarded — cheaper than breaking the batch).
 	err = parallel.For(ctx, len(pts), workers, grainSupport, func(start, end int) error {
-		for i := start; i < end; i++ {
-			if states[i].taken {
-				continue
+		vals := floatScratch(scanBatch)
+		ids := intScratch(scanBatch)
+		defer putFloatScratch(vals)
+		defer putIntScratch(ids)
+		for bs := start; bs < end; bs += scanBatch {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: GeoGreedy canceled during candidate assignment: %w", err)
 			}
-			if (i-start)%scanBatch == 0 {
-				if err := ctx.Err(); err != nil {
-					return fmt.Errorf("core: GeoGreedy canceled during candidate assignment: %w", err)
+			be := bs + scanBatch
+			if be > end {
+				be = end
+			}
+			hull.poly.SupportsInto(qm, bs, be, vals[:be-bs], ids[:be-bs])
+			for i := bs; i < be; i++ {
+				if states[i].taken {
+					continue
 				}
+				val := vals[i-bs]
+				if fault.Enabled {
+					val = fault.NaN(fault.SiteGeoGreedySupport, val)
+				}
+				states[i].bestVal, states[i].bestID = val, ids[i-bs]
 			}
-			val, v := hull.supportOf(pts[i])
-			if fault.Enabled {
-				val = fault.NaN(fault.SiteGeoGreedySupport, val)
-			}
-			states[i].bestVal, states[i].bestID = val, v.ID
 		}
 		return nil
 	})
@@ -208,23 +226,34 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 			for _, id := range res.RemovedIDs {
 				removed[id] = true
 			}
+			// The cap — created vertices then kept on-plane vertices, in
+			// the same order the pre-kernel loops scanned them — as a
+			// transposed matrix, so each re-located candidate is one
+			// batched max-dot. The column-order first-max fold matches
+			// the old Added-then-OnPlane sequential scan bit for bit.
+			capPts := make([]geom.Vector, 0, len(res.Added)+len(res.OnPlane))
+			capIDs := make([]int, 0, len(res.Added)+len(res.OnPlane))
+			for _, v := range res.Added {
+				capPts = append(capPts, v.Point)
+				capIDs = append(capIDs, v.ID)
+			}
+			for _, v := range res.OnPlane {
+				capPts = append(capPts, v.Point)
+				capIDs = append(capIDs, v.ID)
+			}
+			capT := mat.TransposeVectors(qm.Dim(), capPts)
 			err := parallel.For(ctx, len(states), workers, grainSupport, func(start, end int) error {
+				acc := floatScratch(len(capPts))
+				defer putFloatScratch(acc)
 				for i := start; i < end; i++ {
 					st := &states[i]
 					if st.taken || !removed[st.bestID] {
 						continue
 					}
-					newVal := math.Inf(-1)
+					c, newVal := capT.MaxDotCols(qm.Row(i), acc)
 					newID := -1
-					for _, v := range res.Added {
-						if dot := v.Point.Dot(pts[i]); dot > newVal {
-							newVal, newID = dot, v.ID
-						}
-					}
-					for _, v := range res.OnPlane {
-						if dot := v.Point.Dot(pts[i]); dot > newVal {
-							newVal, newID = dot, v.ID
-						}
+					if c >= 0 {
+						newID = capIDs[c]
 					}
 					if fault.Enabled {
 						newVal = fault.NaN(fault.SiteGeoGreedySupport, newVal)

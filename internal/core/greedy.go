@@ -48,6 +48,12 @@ func GreedyParCtx(ctx context.Context, pts []geom.Vector, k, workers int) (*Resu
 	return greedyPar(ctx, pts, k, workers)
 }
 
+// grainLP is the minimum-work grain for per-candidate LP sweeps:
+// sweeps under 2*grainLP candidates run inline (see the cutoff in
+// parallel.newPlan), because at that size the whole sweep costs less
+// than the goroutine fan-out it would buy.
+const grainLP = 1024
+
 func greedyPar(ctx context.Context, pts []geom.Vector, k, workers int) (*Result, error) {
 	_, err := validatePoints(pts)
 	if err != nil {
@@ -81,9 +87,14 @@ func greedyPar(ctx context.Context, pts []geom.Vector, k, workers int) (*Result,
 
 	solveAll := func() error {
 		cons = consFor(cons[:0], pts, selected)
-		// Grain 1: each item is a full simplex solve, far above any
-		// scheduling overhead.
-		return parallel.For(ctx, len(pts), workers, 1, func(start, end int) error {
+		// Each item is a full simplex solve, so chunks of any size
+		// amortize scheduling; grainLP instead sets the minimum sweep
+		// worth fanning out at all. Below 2*grainLP candidates the
+		// cutoff in parallel.For takes the inline path — a sweep that
+		// small finishes in single-digit milliseconds and the fan-out
+		// overhead was measurably slowing it down (the 0.94x
+		// Paper/Greedy speedup in BENCH_7f78352.json).
+		return parallel.For(ctx, len(pts), workers, grainLP, func(start, end int) error {
 			for i := start; i < end; i++ {
 				if taken[i] {
 					continue

@@ -30,3 +30,28 @@ func putFloatScratch(s []float64) {
 	s = s[:0]
 	floatScratchPool.Put(&s)
 }
+
+// intScratchPool recycles the per-chunk int buffers of the batched
+// support scans (GeoGreedy's vertex-ID side channel).
+var intScratchPool sync.Pool
+
+// intScratch returns a length-n int slice with unspecified contents;
+// the caller must write every entry it later reads. Pair with
+// putIntScratch.
+func intScratch(n int) []int {
+	if v := intScratchPool.Get(); v != nil {
+		if s := *(v.(*[]int)); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]int, n)
+}
+
+// putIntScratch returns a scratch slice to the pool.
+func putIntScratch(s []int) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	intScratchPool.Put(&s)
+}

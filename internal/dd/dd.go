@@ -34,10 +34,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/linalg"
+	"repro/internal/mat"
 )
 
 // Errors reported by the polytope constructors and AddHalfspace.
@@ -75,6 +77,24 @@ type Polytope struct {
 	cons   []geom.Hyperplane // a·x ≤ b
 	verts  []*Vertex         // alive vertices, compacted after each insertion
 	nextID int
+	// tv mirrors verts as a column-major matrix (column c = verts[c]),
+	// rebuilt whenever the vertex set changes, so MaxDot and
+	// SupportsInto run as contiguous kernels instead of pointer-chasing
+	// the vertex slice. See internal/mat for the bit-exactness
+	// contract.
+	tv *mat.Transposed
+}
+
+// rebuildTV regenerates the transposed vertex matrix from the current
+// vertex set. Called after every vertex-set change; refine has already
+// snapped new vertex points by then, so the matrix captures the final
+// coordinates.
+func (p *Polytope) rebuildTV() {
+	cols := make([]geom.Vector, len(p.verts))
+	for c, v := range p.verts {
+		cols[c] = v.Point
+	}
+	p.tv = mat.TransposeVectors(p.dim, cols)
 }
 
 // AddResult describes the effect of one halfspace insertion.
@@ -145,6 +165,7 @@ func NewBox(upper []float64) (*Polytope, error) {
 		p.verts = append(p.verts, &Vertex{ID: p.nextID, Point: pt, Tight: tight})
 		p.nextID++
 	}
+	p.rebuildTV()
 	return p, nil
 }
 
@@ -166,10 +187,49 @@ func (p *Polytope) Vertices() []*Vertex { return p.verts }
 // the interior on the a·x < b side.
 func (p *Polytope) Constraint(i int) geom.Hyperplane { return p.cons[i] }
 
+// accPool recycles the per-call accumulator scratch of MaxDot, sized
+// to the largest vertex set seen.
+var accPool = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s }}
+
+func getAcc(n int) *[]float64 {
+	p := accPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
 // MaxDot returns the maximum of q·v over all vertices and the argmax
 // vertex. For a bounded polytope this is the support function of Q in
 // direction q. Returns (−Inf, nil) when the polytope has no vertices.
+//
+// The scan runs on the transposed vertex matrix (mat.MaxDotCols),
+// which is bit-identical to the reference vertex loop (maxDotRef):
+// same per-vertex dot bits, same first-max reduction in vertex order,
+// same NaN-never-wins comparison semantics. A property test
+// cross-validates the two on every polytope the suite builds.
 func (p *Polytope) MaxDot(q geom.Vector) (float64, *Vertex) {
+	if len(p.verts) == 0 {
+		return math.Inf(-1), nil
+	}
+	if p.tv == nil || p.tv.Cols() != len(p.verts) {
+		p.rebuildTV()
+	}
+	acc := getAcc(len(p.verts))
+	c, best := p.tv.MaxDotCols(q, *acc)
+	accPool.Put(acc)
+	if c < 0 {
+		// Every dot was NaN: the reference loop would have kept its
+		// initial (−Inf, nil) state.
+		return math.Inf(-1), nil
+	}
+	return best, p.verts[c]
+}
+
+// maxDotRef is the pre-kernel reference scan, kept for the
+// cross-validation property test.
+func (p *Polytope) maxDotRef(q geom.Vector) (float64, *Vertex) {
 	best := math.Inf(-1)
 	var arg *Vertex
 	for _, v := range p.verts {
@@ -178,6 +238,31 @@ func (p *Polytope) MaxDot(q geom.Vector) (float64, *Vertex) {
 		}
 	}
 	return best, arg
+}
+
+// SupportsInto evaluates the support function for rows [start, end)
+// of qm in one batch: vals[i-start] receives max_v v·q_i and, when
+// ids is non-nil, ids[i-start] the argmax vertex ID (−1 if every dot
+// is NaN). Each entry is bit-identical to MaxDot on the same row. The
+// method only reads the polytope, so concurrent calls from parallel
+// scan chunks are safe as long as no insertion runs.
+func (p *Polytope) SupportsInto(qm *mat.PointMatrix, start, end int, vals []float64, ids []int) {
+	if p.tv == nil || p.tv.Cols() != len(p.verts) {
+		p.rebuildTV()
+	}
+	acc := getAcc(len(p.verts))
+	for i := start; i < end; i++ {
+		c, best := p.tv.MaxDotCols(qm.Row(i), *acc)
+		vals[i-start] = best
+		if ids != nil {
+			if c < 0 {
+				ids[i-start] = -1
+			} else {
+				ids[i-start] = p.verts[c].ID
+			}
+		}
+	}
+	accPool.Put(acc)
 }
 
 // Contains reports whether x satisfies every constraint within eps.
@@ -341,6 +426,7 @@ func (p *Polytope) AddHalfspaceCtx(ctx context.Context, normal geom.Vector, offs
 	if len(p.verts) == 0 {
 		return AddResult{}, ErrEmpty
 	}
+	p.rebuildTV()
 	return AddResult{RemovedIDs: removedIDs, Added: added, OnPlane: onPlane}, nil
 }
 

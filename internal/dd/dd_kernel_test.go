@@ -1,0 +1,114 @@
+package dd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mat"
+)
+
+// TestMaxDotMatchesReference cross-validates the kernel-backed MaxDot
+// against the pre-kernel vertex loop on evolving polytopes: value bits
+// and argmax vertex must agree after every insertion, for directions
+// including negatives and zero.
+func TestMaxDotMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range []int{1, 2, 3, 4, 5} {
+		upper := make([]float64, d)
+		for i := range upper {
+			upper[i] = 0.5 + rng.Float64()
+		}
+		p, err := NewBox(upper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(stage string) {
+			for trial := 0; trial < 25; trial++ {
+				q := make(geom.Vector, d)
+				for j := range q {
+					q[j] = rng.NormFloat64()
+				}
+				if trial == 0 {
+					for j := range q {
+						q[j] = 0
+					}
+				}
+				gotVal, gotArg := p.MaxDot(q)
+				wantVal, wantArg := p.maxDotRef(q)
+				if math.Float64bits(gotVal) != math.Float64bits(wantVal) || gotArg != wantArg {
+					t.Fatalf("d=%d %s: MaxDot(%v) = (%v, %p), reference = (%v, %p)",
+						d, stage, q, gotVal, gotArg, wantVal, wantArg)
+				}
+			}
+		}
+		check("box")
+		for ins := 0; ins < 8; ins++ {
+			n := make(geom.Vector, d)
+			for j := range n {
+				n[j] = 0.2 + rng.Float64()
+			}
+			if _, err := p.AddHalfspace(n, 1); err != nil {
+				t.Fatalf("d=%d insertion %d: %v", d, ins, err)
+			}
+			check("after insertion")
+		}
+	}
+}
+
+// TestSupportsIntoMatchesMaxDot: the batch kernel must agree with
+// per-point MaxDot bit for bit, including the vertex-ID side channel.
+func TestSupportsIntoMatchesMaxDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := 4
+	p, err := NewBox([]float64{1, 2, 0.5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ins := 0; ins < 5; ins++ {
+		n := make(geom.Vector, d)
+		for j := range n {
+			n[j] = 0.2 + rng.Float64()
+		}
+		if _, err := p.AddHalfspace(n, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := make([]geom.Vector, 60)
+	for i := range pts {
+		pts[i] = make(geom.Vector, d)
+		for j := range pts[i] {
+			pts[i][j] = rng.Float64() * 3
+		}
+	}
+	qm := mat.FromVectors(pts)
+	for _, span := range [][2]int{{0, 60}, {10, 10}, {17, 43}} {
+		start, end := span[0], span[1]
+		vals := make([]float64, end-start)
+		ids := make([]int, end-start)
+		p.SupportsInto(qm, start, end, vals, ids)
+		for i := start; i < end; i++ {
+			wantVal, wantArg := p.MaxDot(pts[i])
+			if math.Float64bits(vals[i-start]) != math.Float64bits(wantVal) {
+				t.Fatalf("row %d: SupportsInto val %x, MaxDot %x", i, math.Float64bits(vals[i-start]), math.Float64bits(wantVal))
+			}
+			if wantArg == nil {
+				if ids[i-start] != -1 {
+					t.Fatalf("row %d: id = %d, want -1 for nil argmax", i, ids[i-start])
+				}
+			} else if ids[i-start] != wantArg.ID {
+				t.Fatalf("row %d: id = %d, MaxDot argmax ID = %d", i, ids[i-start], wantArg.ID)
+			}
+		}
+	}
+	// nil ids is allowed: values only.
+	vals := make([]float64, 60)
+	p.SupportsInto(qm, 0, 60, vals, nil)
+	for i := range pts {
+		wantVal, _ := p.MaxDot(pts[i])
+		if math.Float64bits(vals[i]) != math.Float64bits(wantVal) {
+			t.Fatalf("row %d (nil ids): val %x, want %x", i, math.Float64bits(vals[i]), math.Float64bits(wantVal))
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package mat is the flat-memory numeric substrate of the evaluation
+// hot paths: row-major point matrices, column-major (transposed)
+// vertex matrices, and the blocked dot/argmax kernels every scan in
+// internal/core and internal/dd runs on.
+//
+// Why it exists: the geometric evaluators spend their time computing
+// w·p over thousands of points and v·q over dozens of dual vertices,
+// and before this package each point was its own heap-allocated
+// geom.Vector dotted one scalar at a time through a pointer chase.
+// PointMatrix backs n×d points with ONE contiguous []float64, so a
+// row range handed to a kernel streams through the cache line by
+// line; Transposed stores an m-column vertex matrix column-major so a
+// support evaluation accumulates all m dot products per coordinate
+// with independent accumulator chains (instruction-level parallelism
+// the serial dot cannot have, since Go does not auto-vectorize).
+//
+// Bit-exactness contract: every kernel reproduces geom.Vector.Dot to
+// the last bit.
+//
+//   - DotRow/MaxDotRows unroll the accumulation 4-way but keep ONE
+//     accumulator updated in ascending index order — the identical
+//     sequence of fused-nothing float64 operations as Vector.Dot's
+//     `s += x * w[i]` loop, so the result is the same bits.
+//   - MaxDotCols accumulates acc[c] += q[j]·col[c] with j ascending;
+//     per column that is the same addition order as Vector.Dot, and
+//     float64 multiplication commutes exactly (rounding is applied to
+//     the same real product), so each column's support matches
+//     v.Dot(q) bit for bit.
+//   - Both argmax kernels reduce with strict `>` in ascending index
+//     order: ties break to the lowest index and NaN never wins a
+//     comparison — the same semantics as the sequential scans they
+//     replace (dd.Polytope.MaxDot, core's regretOf), preserving the
+//     determinism contract of DESIGN.md §11.
+//
+// The cross-validation tests and the FuzzKernels target assert this
+// bit-identity on the dimensions the solvers actually use and on
+// adversarial inputs (negatives, zeros, infinities, NaN).
+//
+// Aliasing discipline: Row returns a view into the backing array.
+// Views must be consumed immediately (as a kernel or Dot argument) —
+// never written through, returned, or stored past the expression that
+// produced them. The slicealias analyzer enforces this discipline
+// statically (see internal/analysis, fixture testdata/src/matrow).
+package mat
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// PointMatrix is an n×d row-major matrix of points: row i occupies
+// data[i*d : (i+1)*d]. Built once per dataset (or per solver run) and
+// immutable afterwards; the zero value is an empty 0×0 matrix.
+type PointMatrix struct {
+	data []float64
+	n, d int
+}
+
+// FromVectors copies pts into a fresh row-major matrix. All vectors
+// must share one dimension (callers validate points before building);
+// a mismatch panics like geom.Vector.Dot does.
+func FromVectors(pts []geom.Vector) *PointMatrix {
+	if len(pts) == 0 {
+		return &PointMatrix{}
+	}
+	d := len(pts[0])
+	m := &PointMatrix{data: make([]float64, len(pts)*d), n: len(pts), d: d}
+	for i, p := range pts {
+		if len(p) != d {
+			panic(fmt.Sprintf("mat: FromVectors row %d has dimension %d, want %d", i, len(p), d))
+		}
+		copy(m.data[i*d:(i+1)*d], p)
+	}
+	return m
+}
+
+// Rows returns the number of points.
+func (m *PointMatrix) Rows() int { return m.n }
+
+// Dim returns the point dimension.
+func (m *PointMatrix) Dim() int { return m.d }
+
+// Row returns row i as a capacity-trimmed view into the backing
+// array. The view is read-only by contract: consume it immediately
+// (pass it to a kernel or Dot), never write through it, return it, or
+// retain it — a later matrix rebuild would silently invalidate it.
+// The slicealias analyzer flags violations.
+func (m *PointMatrix) Row(i int) []float64 {
+	return m.data[i*m.d : (i+1)*m.d : (i+1)*m.d]
+}
+
+// DotRow returns w·row(i), bit-identical to geom.Vector.Dot(w, row):
+// one accumulator, ascending index order, unrolled 4-way.
+func (m *PointMatrix) DotRow(w []float64, i int) float64 {
+	if len(w) != m.d {
+		panic(fmt.Sprintf("mat: DotRow dimension mismatch %d vs %d", len(w), m.d))
+	}
+	return dot(w, m.data[i*m.d:(i+1)*m.d])
+}
+
+// dot is the shared kernel: Σ a[i]·b[i] with a single accumulator in
+// ascending order — the exact operation sequence of geom.Vector.Dot,
+// so the result is the same bits. The 4-way unroll only removes loop
+// overhead; it does not reassociate the sum.
+func dot(a, b []float64) float64 {
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// MaxDotRows returns the argmax and maximum of w·row over rows
+// [start, end): strict `>` in ascending row order, so ties break to
+// the lowest row and NaN products never win (matching the sequential
+// scans in core and dd). Returns (-1, -Inf) on an empty range or when
+// every dot is NaN.
+func (m *PointMatrix) MaxDotRows(w []float64, start, end int) (int, float64) {
+	if len(w) != m.d {
+		panic(fmt.Sprintf("mat: MaxDotRows dimension mismatch %d vs %d", len(w), m.d))
+	}
+	best, arg := math.Inf(-1), -1
+	d := m.d
+	for i := start; i < end; i++ {
+		if u := dot(w, m.data[i*d:(i+1)*d]); u > best {
+			best, arg = u, i
+		}
+	}
+	return arg, best
+}
+
+// Gather copies the given rows (in order) into a compact new matrix —
+// how the pruned extreme-set submatrix is built, so the skyline scan
+// is contiguous regardless of how sparse the skyline indices are.
+// Rows out of range return an error rather than panicking: indices
+// may come from a persisted snapshot.
+func (m *PointMatrix) Gather(rows []int) (*PointMatrix, error) {
+	out := &PointMatrix{data: make([]float64, len(rows)*m.d), n: len(rows), d: m.d}
+	for k, r := range rows {
+		if r < 0 || r >= m.n {
+			return nil, fmt.Errorf("mat: Gather row %d out of range (n=%d)", r, m.n)
+		}
+		copy(out.data[k*m.d:(k+1)*m.d], m.data[r*m.d:(r+1)*m.d])
+	}
+	return out, nil
+}
+
+// GobEncode serializes the matrix (dimensions + raw coordinates), so
+// a PointMatrix can ride inside the gob-based snapshot format of the
+// persistence layer.
+func (m *PointMatrix) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(m.n); err != nil {
+		return nil, err
+	}
+	if err := enc.Encode(m.d); err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 8*len(m.data))
+	for i, x := range m.data {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(x))
+	}
+	if err := enc.Encode(raw); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores a matrix written by GobEncode, validating the
+// dimensions against the payload length (a corrupt stream surfaces as
+// an error, never an inconsistent matrix).
+func (m *PointMatrix) GobDecode(p []byte) error {
+	dec := gob.NewDecoder(bytes.NewReader(p))
+	var n, d int
+	if err := dec.Decode(&n); err != nil {
+		return err
+	}
+	if err := dec.Decode(&d); err != nil {
+		return err
+	}
+	var raw []byte
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	if n < 0 || d < 0 || (d != 0 && n > math.MaxInt/d/8) || len(raw) != 8*n*d {
+		return fmt.Errorf("mat: gob payload is %d bytes, want %d for a %d×%d matrix", len(raw), 8*n*d, n, d)
+	}
+	m.n, m.d = n, d
+	m.data = make([]float64, n*d)
+	for i := range m.data {
+		m.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return nil
+}
+
+// Transposed is a d×m column-major matrix: column c is a d-vector
+// and coordinate j of every column is contiguous in
+// data[j*m : (j+1)*m]. It stores the dual-hull vertex set so a
+// support evaluation max_c col(c)·q streams each coordinate across
+// all columns with independent accumulators.
+type Transposed struct {
+	data []float64
+	d, m int
+}
+
+// TransposeVectors copies the m column vectors (each of dimension d)
+// into a fresh column-major matrix. cols may be empty; a dimension
+// mismatch panics like geom.Vector.Dot does.
+func TransposeVectors(d int, cols []geom.Vector) *Transposed {
+	t := &Transposed{data: make([]float64, d*len(cols)), d: d, m: len(cols)}
+	for c, v := range cols {
+		if len(v) != d {
+			panic(fmt.Sprintf("mat: TransposeVectors column %d has dimension %d, want %d", c, len(v), d))
+		}
+		for j, x := range v {
+			t.data[j*t.m+c] = x
+		}
+	}
+	return t
+}
+
+// Cols returns the number of columns (vertices).
+func (t *Transposed) Cols() int { return t.m }
+
+// Dim returns the column dimension.
+func (t *Transposed) Dim() int { return t.d }
+
+// MaxDotCols returns the argmax and maximum of col(c)·q over all
+// columns. acc is caller-provided scratch of capacity ≥ Cols() (so
+// batch callers pay one allocation per chunk, not per point); its
+// prior contents are ignored. Per column the accumulation runs in
+// ascending coordinate order with commuted multiplications, which is
+// bit-identical to geom.Vector.Dot(col, q); the reduction is strict
+// `>` in ascending column order (lowest-index ties, NaN never wins).
+// Returns (-1, -Inf) when there are no columns or every dot is NaN.
+func (t *Transposed) MaxDotCols(q []float64, acc []float64) (int, float64) {
+	if len(q) != t.d {
+		panic(fmt.Sprintf("mat: MaxDotCols dimension mismatch %d vs %d", len(q), t.d))
+	}
+	m := t.m
+	if m == 0 {
+		return -1, math.Inf(-1)
+	}
+	acc = acc[:m]
+	for c := range acc {
+		acc[c] = 0
+	}
+	for j := 0; j < t.d; j++ {
+		qj := q[j]
+		col := t.data[j*m : (j+1)*m]
+		c := 0
+		for ; c+4 <= m; c += 4 {
+			acc[c] += qj * col[c]
+			acc[c+1] += qj * col[c+1]
+			acc[c+2] += qj * col[c+2]
+			acc[c+3] += qj * col[c+3]
+		}
+		for ; c < m; c++ {
+			acc[c] += qj * col[c]
+		}
+	}
+	best, arg := math.Inf(-1), -1
+	for c := 0; c < m; c++ {
+		if acc[c] > best {
+			best, arg = acc[c], c
+		}
+	}
+	return arg, best
+}

@@ -120,7 +120,12 @@ func newPlan(n, workers, grain int) plan {
 	if grain < 1 {
 		grain = 1
 	}
-	if n < 1 || w == 1 {
+	// Minimum-total-work cutoff: a sweep too small to fill two grains
+	// cannot amortize goroutine fan-out, so it takes the workers=1
+	// inline path. This is what keeps tiny Greedy instances from paying
+	// scheduling overhead for nothing (the 0.94x Paper/Greedy parallel
+	// regression in BENCH_7f78352.json).
+	if n < 1 || w == 1 || n < 2*grain {
 		return plan{n: n, workers: 1, chunk: n, numChunks: 1}
 	}
 	chunk := grain

@@ -300,6 +300,47 @@ func TestPlanThresholds(t *testing.T) {
 	}
 }
 
+// TestPlanInlineCutoff asserts the minimum-total-work cutoff: any
+// sweep with fewer than two grains of work must take the workers=1
+// inline path — one body call spanning the whole range — no matter
+// how many workers the caller requested. This is the fix for the
+// Paper/Greedy parallel regression: small LP sweeps stop paying
+// fan-out overhead.
+func TestPlanInlineCutoff(t *testing.T) {
+	if p := newPlan(300, 8, 200); p.numChunks != 1 || p.workers != 1 {
+		t.Fatalf("newPlan(300, 8, grain=200) = %+v, want the sequential plan (300 < 2*200)", p)
+	}
+	// Exactly two grains of work is the smallest parallel plan.
+	if p := newPlan(400, 8, 200); p.numChunks != 2 {
+		t.Fatalf("newPlan(400, 8, grain=200) = %+v, want 2 chunks", p)
+	}
+	calls := 0
+	err := For(context.Background(), 300, 8, 200, func(start, end int) error {
+		calls++
+		if start != 0 || end != 300 {
+			t.Fatalf("inline cutoff chunk = [%d, %d), want [0, 300)", start, end)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("below-cutoff For made %d body calls, want 1 inline call", calls)
+	}
+	// ArgMax below the cutoff must use the sequential reduction too
+	// (same result either way — this exercises the code path).
+	idx, val, err := ArgMax(context.Background(), 300, 8, 200, func(i int) (float64, bool) {
+		return float64(i % 100), true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 99 || val != 99 {
+		t.Fatalf("ArgMax below cutoff = (%d, %v), want (99, 99)", idx, val)
+	}
+}
+
 func BenchmarkForOverhead(b *testing.B) {
 	sink := make([]float64, 1<<16)
 	for _, workers := range []int{1, 4} {

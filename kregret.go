@@ -185,10 +185,11 @@ type options struct {
 	candidates CandidateSet
 	workers    int
 	fallback   bool
+	pruning    bool
 }
 
 func defaultOptions() options {
-	return options{normalize: true, algorithm: AlgoGeoGreedy, candidates: CandidatesHappy, workers: 0, fallback: true}
+	return options{normalize: true, algorithm: AlgoGeoGreedy, candidates: CandidatesHappy, workers: 0, fallback: true, pruning: true}
 }
 
 // WithParallelism bounds the intra-query parallelism at `workers`
@@ -218,6 +219,19 @@ func WithAlgorithm(a Algorithm) Option { return func(o *options) { o.algorithm =
 // WithCandidates selects the candidate set the solver searches.
 func WithCandidates(c CandidateSet) Option { return func(o *options) { o.candidates = c } }
 
+// WithPruning toggles extreme-set pruning in the evaluators
+// (EvaluateMRR, RegretOf, AverageRegret, WorstUtility): when on (the
+// default), the "max over the dataset" side of every evaluation scans
+// only the skyline points. The results are bit-identical — for any
+// non-negative utility the dataset maximum is attained at a skyline
+// point with the same float64 value (DESIGN.md §12) — so the toggle
+// exists for the differential test suite and for measuring the
+// pruning win itself, not because the answers differ.
+//
+// It is a NewDataset option; as a Query option it has no effect
+// (queries already run over filtered candidate sets).
+func WithPruning(on bool) Option { return func(o *options) { o.pruning = on } }
+
 // WithoutFallback disables the degradation chain: a numerical failure
 // of the configured algorithm surfaces as a *NumericalError instead
 // of being retried with perturbed candidates and weaker algorithms.
@@ -233,6 +247,11 @@ func WithoutFallback() Option { return func(o *options) { o.fallback = false } }
 type Dataset struct {
 	pts     []geom.Vector
 	workers int
+	pruning bool
+
+	evalOnce sync.Once
+	eval     *core.EvalIndex
+	evalErr  error
 
 	skyOnce sync.Once
 	sky     []int
@@ -278,7 +297,44 @@ func NewDataset(points []Point, opts ...Option) (*Dataset, error) {
 			return nil, fmt.Errorf("kregret: point %d (%v) must be finite and strictly positive (use normalization or shift your data)", i, p)
 		}
 	}
-	return &Dataset{pts: pts, workers: o.workers}, nil
+	return &Dataset{pts: pts, workers: o.workers, pruning: o.pruning}, nil
+}
+
+// evalIndex lazily builds the dataset's evaluation index: the points
+// flattened into one contiguous matrix plus (with pruning on) the
+// skyline as the extreme set the evaluators scan. Built once behind a
+// sync.Once; concurrent first callers share the computation, and the
+// skyline itself is reused from — or seeds — the Skyline cache.
+func (d *Dataset) evalIndex() (*core.EvalIndex, error) {
+	d.evalOnce.Do(func() {
+		x, err := core.NewEvalIndex(d.pts)
+		if err != nil {
+			d.evalErr = fmt.Errorf("kregret: %w", err)
+			return
+		}
+		if d.pruning {
+			sky, err := d.Skyline()
+			if err != nil {
+				d.evalErr = err
+				return
+			}
+			if err := x.SetExtreme(sky); err != nil {
+				d.evalErr = fmt.Errorf("kregret: %w", err)
+				return
+			}
+		}
+		d.eval = x
+	})
+	return d.eval, d.evalErr
+}
+
+// seedSkyline installs precomputed skyline indices (from a snapshot)
+// into the lazy cache, so loading an index does not recompute the
+// skyline pass. A no-op if the skyline was already computed.
+func (d *Dataset) seedSkyline(sky []int) {
+	d.skyOnce.Do(func() {
+		d.sky = append([]int(nil), sky...)
+	})
 }
 
 // Len returns the number of tuples.
@@ -618,9 +674,13 @@ func (d *Dataset) EvaluateMRR(selection []int) (float64, error) {
 // support scan fans out over the dataset's parallelism (see
 // WithParallelism); the result is identical for every width.
 func (d *Dataset) EvaluateMRRContext(ctx context.Context, selection []int) (float64, error) {
+	x, err := d.evalIndex()
+	if err != nil {
+		return 0, err
+	}
 	var mrr float64
-	err := d.protect("EvaluateMRR", func() error {
-		m, err := core.MRRGeometricParCtx(ctx, d.pts, selection, d.workers)
+	err = d.protect("EvaluateMRR", func() error {
+		m, err := x.MRRGeometricParCtx(ctx, selection, d.workers)
 		if err != nil {
 			return fmt.Errorf("kregret: %w", err)
 		}
@@ -639,9 +699,13 @@ func (d *Dataset) RegretOf(selection []int, weights Point) (float64, error) {
 	if err := d.validateWeights(weights); err != nil {
 		return 0, err
 	}
+	x, err := d.evalIndex()
+	if err != nil {
+		return 0, err
+	}
 	var ratio float64
-	err := d.protect("RegretOf", func() error {
-		r, err := core.RegretOf(d.pts, selection, geom.Vector(weights))
+	err = d.protect("RegretOf", func() error {
+		r, err := x.RegretOf(selection, geom.Vector(weights))
 		if err != nil {
 			return fmt.Errorf("kregret: %w", err)
 		}
@@ -673,7 +737,11 @@ func (d *Dataset) validateWeights(weights Point) error {
 // utility functions drawn uniformly from the non-negative unit
 // sphere (a Monte-Carlo extension beyond the paper).
 func (d *Dataset) AverageRegret(selection []int, samples int, seed int64) (float64, error) {
-	r, err := core.AverageRegretSampledParCtx(context.Background(), d.pts, selection, samples, seed, d.workers)
+	x, err := d.evalIndex()
+	if err != nil {
+		return 0, err
+	}
+	r, err := x.AverageRegretSampledParCtx(context.Background(), selection, samples, seed, d.workers)
 	if err != nil {
 		return 0, fmt.Errorf("kregret: %w", err)
 	}
@@ -689,11 +757,17 @@ func (d *Dataset) WorstUtility(selection []int) (weights Point, witness int, err
 }
 
 // WorstUtilityContext is WorstUtility bounded by a context (see
-// QueryContext for the cancellation granularity).
+// QueryContext for the cancellation granularity). The support scan
+// fans out over the dataset's parallelism (see WithParallelism); the
+// answer is identical for every width.
 func (d *Dataset) WorstUtilityContext(ctx context.Context, selection []int) (weights Point, witness int, err error) {
+	x, err := d.evalIndex()
+	if err != nil {
+		return nil, -1, err
+	}
 	witness = -1
 	err = d.protect("WorstUtility", func() error {
-		w, wit, err := core.WorstUtilityCtx(ctx, d.pts, selection)
+		w, wit, err := x.WorstUtilityParCtx(ctx, selection, d.workers)
 		if err != nil {
 			return fmt.Errorf("kregret: %w", err)
 		}

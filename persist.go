@@ -63,14 +63,21 @@ var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
 // candidate mapping plus a checksum binding the index to the dataset
 // it was built from. Its Version field versions the payload schema,
 // independent of the outer frame version.
+//
+// Payload v2 adds Ext — the skyline (extreme set) indices computed
+// during preprocessing — so loading a snapshot also seeds the
+// dataset's evaluation pruning without recomputing the skyline pass.
+// v1 payloads (no Ext; gob omits absent fields, so the field decodes
+// as nil) still load, they just skip the seeding.
 type indexWire struct {
 	Version  int
 	Checksum uint64
 	N, Dim   int
 	Cand     []int
+	Ext      []int
 }
 
-const indexVersion = 1
+const indexVersion = 2
 
 // checksum fingerprints the (normalized) dataset contents.
 func (d *Dataset) checksum() uint64 {
@@ -92,6 +99,13 @@ func (d *Dataset) checksum() uint64 {
 // stream is framed with a CRC-32C trailer (format v2) so corruption
 // is detectable on load; use SaveFile for crash-safe writes to disk.
 func (x *Index) Save(w io.Writer, d *Dataset) error {
+	// The skyline is already cached on any dataset that built an index
+	// (happy-point extraction runs it); persisting it lets the loader
+	// seed evaluation pruning for free.
+	sky, err := d.Skyline()
+	if err != nil {
+		return fmt.Errorf("kregret: saving index: %w", err)
+	}
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(indexWire{
 		Version:  indexVersion,
@@ -99,6 +113,7 @@ func (x *Index) Save(w io.Writer, d *Dataset) error {
 		N:        d.Len(),
 		Dim:      d.Dim(),
 		Cand:     x.cand,
+		Ext:      sky,
 	}); err != nil {
 		return fmt.Errorf("kregret: saving index: %w", err)
 	}
@@ -178,8 +193,8 @@ func decodeIndexPayload(r io.Reader, d *Dataset) (*Index, error) {
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("%w: decoding index: %v", ErrCorruptIndex, err)
 	}
-	if wire.Version != indexVersion {
-		return nil, fmt.Errorf("kregret: index version %d, want %d", wire.Version, indexVersion)
+	if wire.Version < 1 || wire.Version > indexVersion {
+		return nil, fmt.Errorf("kregret: index version %d, want 1..%d", wire.Version, indexVersion)
 	}
 	if wire.N != d.Len() || wire.Dim != d.Dim() || wire.Checksum != d.checksum() {
 		return nil, ErrIndexMismatch
@@ -189,9 +204,23 @@ func decodeIndexPayload(r io.Reader, d *Dataset) (*Index, error) {
 			return nil, fmt.Errorf("%w: index candidate %d out of range", ErrCorruptIndex, c)
 		}
 	}
+	// The extreme set rides along since payload v2. Validate before
+	// seeding: a snapshot that passed the CRC can still carry garbage
+	// if it was written by a buggy or hostile producer.
+	for k, e := range wire.Ext {
+		if e < 0 || e >= d.Len() {
+			return nil, fmt.Errorf("%w: extreme index %d out of range", ErrCorruptIndex, e)
+		}
+		if k > 0 && e <= wire.Ext[k-1] {
+			return nil, fmt.Errorf("%w: extreme set not strictly ascending at position %d", ErrCorruptIndex, k)
+		}
+	}
 	list, err := core.LoadStoredList(r)
 	if err != nil {
 		return nil, fmt.Errorf("%w: loading index list: %v", ErrCorruptIndex, err)
+	}
+	if len(wire.Ext) > 0 {
+		d.seedSkyline(wire.Ext)
 	}
 	return &Index{list: list, cand: wire.Cand}, nil
 }

@@ -2,8 +2,10 @@ package kregret
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -109,6 +111,126 @@ func TestSnapshotV1ReadCompatibility(t *testing.T) {
 	if want.MRR != got.MRR {
 		t.Fatalf("v1-loaded index answers differently: %v vs %v", got.MRR, want.MRR)
 	}
+}
+
+// Payload v1 (explicit Version: 1, no Ext field) must still load —
+// that is what every snapshot written before the extreme set rode
+// along looks like after the frame is stripped.
+func TestSnapshotPayloadV1Compatibility(t *testing.T) {
+	ds, idx, _ := snapshotFixture(t)
+	var v1 bytes.Buffer
+	if err := gob.NewEncoder(&v1).Encode(indexWire{
+		Version:  1,
+		Checksum: ds.checksum(),
+		N:        ds.Len(),
+		Dim:      ds.Dim(),
+		Cand:     idx.cand,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.list.Save(&v1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(bytes.NewReader(frameSnapshot(v1.Bytes())), ds)
+	if err != nil {
+		t.Fatalf("payload-v1 snapshot failed to load: %v", err)
+	}
+	want, err := idx.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.MRR != got.MRR {
+		t.Fatalf("payload-v1 index answers differently: %v vs %v", got.MRR, want.MRR)
+	}
+}
+
+// Loading a v2 snapshot into a fresh dataset seeds its skyline cache,
+// and the seeded skyline must be exactly what the dataset would have
+// computed itself — otherwise pruned evaluation would silently change.
+func TestSnapshotSeedsExtremeSet(t *testing.T) {
+	ds, idx, snap := snapshotFixture(t)
+	fresh, err := NewDataset(testPoints(80, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(bytes.NewReader(snap), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSky, err := ds.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSky, err := fresh.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantSky) != len(gotSky) {
+		t.Fatalf("seeded skyline has %d points, computed %d", len(gotSky), len(wantSky))
+	}
+	for i := range wantSky {
+		if wantSky[i] != gotSky[i] {
+			t.Fatalf("seeded skyline differs at %d: %d vs %d", i, gotSky[i], wantSky[i])
+		}
+	}
+	want, err := idx.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.MRR != got.MRR {
+		t.Fatalf("seeded dataset answers differently: %v vs %v", got.MRR, want.MRR)
+	}
+}
+
+// A CRC-valid frame can still carry a hostile extreme set; both
+// out-of-range and out-of-order entries must be rejected as
+// corruption before they seed the dataset.
+func TestSnapshotRejectsBadExtremeSet(t *testing.T) {
+	ds, idx, _ := snapshotFixture(t)
+	for name, ext := range map[string][]int{
+		"out of range":  {0, ds.Len()},
+		"negative":      {-1, 2},
+		"not ascending": {3, 3},
+		"descending":    {5, 2},
+	} {
+		var payload bytes.Buffer
+		if err := gob.NewEncoder(&payload).Encode(indexWire{
+			Version:  indexVersion,
+			Checksum: ds.checksum(),
+			N:        ds.Len(),
+			Dim:      ds.Dim(),
+			Cand:     idx.cand,
+			Ext:      ext,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.list.Save(&payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadIndex(bytes.NewReader(frameSnapshot(payload.Bytes())), ds); !errors.Is(err, ErrCorruptIndex) {
+			t.Fatalf("%s extreme set: want ErrCorruptIndex, got %v", name, err)
+		}
+	}
+}
+
+// frameSnapshot wraps a raw payload in a valid v2 frame (magic,
+// version, length, CRC) so tests can exercise the payload decoder
+// with hand-built contents.
+func frameSnapshot(payload []byte) []byte {
+	frame := make([]byte, snapshotHdrLen, snapshotHdrLen+len(payload)+4)
+	copy(frame, snapshotMagic)
+	frame[4] = snapshotVersion
+	binary.LittleEndian.PutUint64(frame[5:], uint64(len(payload)))
+	frame = append(frame, payload...)
+	return binary.LittleEndian.AppendUint32(frame, crc32.Checksum(frame, snapshotCRC))
 }
 
 func TestSaveFileLoadFileRoundTrip(t *testing.T) {
