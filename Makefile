@@ -11,7 +11,8 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Domain-aware static analysis: floatcmp, slicealias, naninf, errdrop.
+# Domain-aware static analysis: floatcmp, slicealias, naninf, errdrop,
+# ctxflow, poolscope, atomicguard, wireguard.
 kregret-vet:
 	$(GO) run ./cmd/kregret-vet ./...
 

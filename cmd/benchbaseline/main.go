@@ -1,7 +1,8 @@
 // Command benchbaseline records a performance baseline for the
-// parallel geometric core: it runs the BenchmarkPaper suite twice —
-// once at parallelism 1 (the exact sequential path) and once at the
-// requested width — parses the `go test -bench` output, and writes a
+// parallel geometric core: it runs the BenchmarkPaper suite at
+// parallelism 1 (the exact sequential path) and at the requested
+// width — alternating the two so host drift cancels out of the
+// speedup ratio — parses the `go test -bench` output, and writes a
 // BENCH_<rev>.json with ns/op, B/op, allocs/op and the per-benchmark
 // speedup. CI and `make bench` both go through this binary so every
 // revision's numbers land in the same machine-readable shape.
@@ -16,17 +17,18 @@
 // runs (make bench-smoke) lower it so the suite finishes in seconds
 // and merely proves the harness end to end.
 //
-// -count repeats each pass and keeps the per-benchmark minimum of
-// every measurement — the noise floor, which is what a baseline
-// should record on a shared machine.
+// -count repeats the alternating pass pairs and keeps the
+// per-benchmark minimum of every measurement — the noise floor,
+// which is what a baseline should record on a shared machine.
 //
 // -diff compares the freshly-recorded report against an earlier
 // BENCH_*.json ("latest" picks the most recent one by recorded date,
 // excluding the file just written) and prints per-benchmark
 // sequential ns/op and allocs/op deltas. When the baseline was taken
 // with the same -n and -benchtime, a sequential ns/op regression
-// above 10% on any benchmark exits nonzero so CI can gate on it;
-// with mismatched parameters the diff is advisory and the gate is
+// above 10% or an allocs/op growth above 25% on any benchmark exits
+// nonzero so CI can gate on both time and allocation behavior; with
+// mismatched parameters the diff is advisory and the gates are
 // skipped.
 package main
 
@@ -101,11 +103,7 @@ func main() {
 	}
 
 	rev := gitRev()
-	seq, cpu, err := runPasses(1, *n, *count, *benchtime, *bench)
-	if err != nil {
-		fatal(err)
-	}
-	par, _, err := runPasses(*parallelism, *n, *count, *benchtime, *bench)
+	seq, par, cpu, err := runInterleaved(1, *parallelism, *n, *count, *benchtime, *bench)
 	if err != nil {
 		fatal(err)
 	}
@@ -221,9 +219,15 @@ func readReport(path string) (report, error) {
 // the baseline) above which the diff exits nonzero.
 const regressionThreshold = 0.10
 
+// allocRegressionThreshold is the sequential allocs/op increase above
+// which the diff exits nonzero. Allocation counts are deterministic
+// (no noise floor), but pooled hot paths legitimately jitter by a few
+// pool misses per op, so the gate is looser than the ns/op one.
+const allocRegressionThreshold = 0.25
+
 // diffReports prints the per-benchmark delta table and reports
-// whether any benchmark regressed past the threshold under
-// comparable parameters.
+// whether any benchmark regressed past the ns/op or allocs/op
+// threshold under comparable parameters.
 func diffReports(cur, base report, basePath string) bool {
 	comparable := cur.N == base.N && cur.Benchtime == base.Benchtime
 	fmt.Printf("\ndiff vs %s (rev %s)\n", basePath, base.Revision)
@@ -236,7 +240,7 @@ func diffReports(cur, base report, basePath string) bool {
 		baseBy[e.Name] = e
 	}
 	fmt.Printf("%-40s %14s %14s %8s %8s\n", "benchmark", "base ns/op", "new ns/op", "Δns/op", "Δallocs")
-	regressed := false
+	regressed, allocRegressed := false, false
 	seen := make(map[string]bool, len(cur.Benchmarks))
 	for _, e := range cur.Benchmarks {
 		seen[e.Name] = true
@@ -252,6 +256,10 @@ func diffReports(cur, base report, basePath string) bool {
 			mark = "  << regression"
 			regressed = true
 		}
+		if comparable && allocDelta > allocRegressionThreshold {
+			mark += "  << alloc regression"
+			allocRegressed = true
+		}
 		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%% %+7.1f%%%s\n",
 			e.Name, b.Seq.NsPerOp, e.Seq.NsPerOp, 100*nsDelta, 100*allocDelta, mark)
 	}
@@ -263,7 +271,10 @@ func diffReports(cur, base report, basePath string) bool {
 	if regressed {
 		fmt.Printf("sequential ns/op regressed more than %.0f%% against %s\n", 100*regressionThreshold, basePath)
 	}
-	return regressed
+	if allocRegressed {
+		fmt.Printf("sequential allocs/op regressed more than %.0f%% against %s\n", 100*allocRegressionThreshold, basePath)
+	}
+	return regressed || allocRegressed
 }
 
 // ratioDelta is (new-old)/old, with a zero baseline treated as no
@@ -275,41 +286,56 @@ func ratioDelta(cur, base float64) float64 {
 	return (cur - base) / base
 }
 
-// runPasses repeats runPass `count` times at one width and folds the
-// per-benchmark minimum of each measurement field — the noise floor.
+// runInterleaved alternates sequential and parallel passes —
+// 1, N, 1, N, … for `count` rounds — and folds each side's
+// per-benchmark minimum of every measurement field (the noise floor).
+// Interleaving matters on shared machines: host throughput drifts
+// over the minutes a full run takes, and running all sequential
+// passes first would hand whichever width runs last a systematic
+// handicap that the min fold cannot remove. Alternating exposes both
+// widths to the same drift so it cancels out of the speedup ratio.
 // Benchmarks must appear in every pass to survive the fold.
-func runPasses(workers, n, count int, benchtime, bench string) (map[string]measurement, string, error) {
-	var acc map[string]measurement
-	cpu := ""
+func runInterleaved(seqWorkers, parWorkers, n, count int, benchtime, bench string) (seq, par map[string]measurement, cpu string, err error) {
 	for pass := 0; pass < count; pass++ {
-		res, c, err := runPass(workers, n, benchtime, bench)
-		if err != nil {
-			return nil, "", err
+		if seq, cpu, err = foldPass(seq, cpu, seqWorkers, n, benchtime, bench); err != nil {
+			return nil, nil, "", err
 		}
-		if c != "" {
-			cpu = c
+		if par, cpu, err = foldPass(par, cpu, parWorkers, n, benchtime, bench); err != nil {
+			return nil, nil, "", err
 		}
-		if acc == nil {
-			acc = res
+	}
+	return seq, par, cpu, nil
+}
+
+// foldPass runs one pass at the given width and folds it into acc by
+// per-benchmark minimum.
+func foldPass(acc map[string]measurement, cpu string, workers, n int, benchtime, bench string) (map[string]measurement, string, error) {
+	res, c, err := runPass(workers, n, benchtime, bench)
+	if err != nil {
+		return nil, "", err
+	}
+	if c != "" {
+		cpu = c
+	}
+	if acc == nil {
+		return res, cpu, nil
+	}
+	for name, m := range res {
+		b, ok := acc[name]
+		if !ok {
+			acc[name] = m
 			continue
 		}
-		for name, m := range res {
-			b, ok := acc[name]
-			if !ok {
-				acc[name] = m
-				continue
-			}
-			if m.NsPerOp < b.NsPerOp {
-				b.NsPerOp = m.NsPerOp
-			}
-			if m.BytesPerOp < b.BytesPerOp {
-				b.BytesPerOp = m.BytesPerOp
-			}
-			if m.AllocsPerOp < b.AllocsPerOp {
-				b.AllocsPerOp = m.AllocsPerOp
-			}
-			acc[name] = b
+		if m.NsPerOp < b.NsPerOp {
+			b.NsPerOp = m.NsPerOp
 		}
+		if m.BytesPerOp < b.BytesPerOp {
+			b.BytesPerOp = m.BytesPerOp
+		}
+		if m.AllocsPerOp < b.AllocsPerOp {
+			b.AllocsPerOp = m.AllocsPerOp
+		}
+		acc[name] = b
 	}
 	return acc, cpu, nil
 }

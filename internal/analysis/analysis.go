@@ -17,6 +17,19 @@
 //     must be guarded against NaN/Inf
 //   - errdrop:    no discarded error returns in non-test files
 //
+// PR 6 added the concurrency and lifecycle invariants the serving
+// layers (PRs 2–5) depend on:
+//
+//   - ctxflow:     context flows caller → callee: no fresh
+//     Background/TODO outside package main and compat wrappers, ctx
+//     is the first parameter, contexts never live in struct fields
+//   - poolscope:   sync.Pool borrows are returned on every path,
+//     never used after Put, and never alias a PointMatrix.Row view
+//   - atomicguard: atomic fields are never plain-accessed and
+//     mu-guarded fields are only touched under the lock
+//   - wireguard:   gob wire structs are registered in a wireManifest
+//     pinning their version and field layout
+//
 // Only go/ast, go/parser, go/types, go/token and go/build are used;
 // there is no dependency on golang.org/x/tools.
 package analysis
@@ -59,7 +72,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, SliceAlias, NaNInf, ErrDrop}
+	return []*Analyzer{FloatCmp, SliceAlias, NaNInf, ErrDrop, CtxFlow, PoolScope, AtomicGuard, WireGuard}
 }
 
 // ByName resolves a comma-separated analyzer list ("floatcmp,errdrop").
@@ -104,10 +117,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Run applies the analyzers to every package and returns all findings
-// sorted by position.
+// sorted by position. Malformed //kregret:allow directives (unknown
+// analyzer names, missing justifications) are findings in their own
+// right, reported under the pseudo-analyzer name "allow" — a typo'd
+// directive must fail loudly, not silently suppress nothing.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var all []Finding
 	for _, pkg := range pkgs {
+		all = append(all, validateAllows(pkg)...)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Pkg:      pkg,
@@ -138,23 +155,49 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 //
 //	x := v.Norm() //kregret:allow naninf: sum of squares is non-negative
 //
-// The directive names one analyzer and must carry a justification
-// after a colon. It applies to its own line and the following line.
+// The directive names one or more comma-separated analyzers and must
+// carry a justification after a colon. It applies to its own line and
+// the following line. A directive naming an unknown analyzer or
+// missing its justification is itself a finding (see validateAllows).
 const allowPrefix = "kregret:allow "
+
+// allowNames parses the comma-separated analyzer list of one
+// directive comment, or ok=false if the comment is not a directive.
+// The justification (everything after the first colon) rides along
+// for validation.
+func allowNames(text string) (names []string, justification string, ok bool) {
+	text = strings.TrimSuffix(strings.TrimPrefix(strings.TrimPrefix(text, "//"), "/*"), "*/")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil, "", false
+	}
+	rest := strings.TrimPrefix(text, allowPrefix)
+	list, just, _ := strings.Cut(rest, ":")
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.TrimSpace(just), true
+}
 
 func collectAllows(pkg *Package, analyzer string) map[string]map[int]bool {
 	out := map[string]map[int]bool{}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, allowPrefix) {
+				names, _, ok := allowNames(c.Text)
+				if !ok {
 					continue
 				}
-				rest := strings.TrimPrefix(text, allowPrefix)
-				name, _, _ := strings.Cut(rest, ":")
-				if strings.TrimSpace(name) != analyzer {
+				match := false
+				for _, n := range names {
+					if n == analyzer {
+						match = true
+						break
+					}
+				}
+				if !match {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
@@ -162,6 +205,45 @@ func collectAllows(pkg *Package, analyzer string) map[string]map[int]bool {
 					out[pos.Filename] = map[int]bool{}
 				}
 				out[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// validateAllows checks every //kregret:allow directive of a package:
+// each listed name must be a registered analyzer and the directive
+// must justify itself after a colon. Violations come back as findings
+// under the pseudo-analyzer "allow" (which is not itself
+// allowlistable — a broken directive cannot vouch for itself).
+func validateAllows(pkg *Package) []Finding {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Finding
+	report := func(pos token.Position, format string, args ...any) {
+		out = append(out, Finding{Pos: pos, Analyzer: "allow", Message: fmt.Sprintf(format, args...)})
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				names, justification, ok := allowNames(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if len(names) == 0 {
+					report(pos, "//kregret:allow names no analyzer")
+				}
+				for _, n := range names {
+					if !known[n] {
+						report(pos, "//kregret:allow names unknown analyzer %q", n)
+					}
+				}
+				if justification == "" {
+					report(pos, "//kregret:allow must justify the exception after a colon")
+				}
 			}
 		}
 	}

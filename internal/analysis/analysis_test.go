@@ -132,6 +132,89 @@ func TestErrDropFixture(t *testing.T) {
 	runFixture(t, "errdrop", "errdropfix", "errdrop")
 }
 
+func TestCtxFlowFixture(t *testing.T) {
+	runFixture(t, "ctxflow", "ctxflowfix", "ctxflow")
+}
+
+func TestPoolScopeFixture(t *testing.T) {
+	// The import path deliberately contains "/internal/": pooled
+	// buffers are internal scratch, and the Row-view Put check must
+	// fire regardless of the slicealias internal-package exemption.
+	runFixture(t, "poolscope", "repro/internal/poolscopefix", "poolscope")
+}
+
+func TestAtomicGuardFixture(t *testing.T) {
+	runFixture(t, "atomicguard", "atomicguardfix", "atomicguard")
+}
+
+func TestWireGuardFixture(t *testing.T) {
+	runFixture(t, "wireguard", "wireguardfix", "wireguard")
+}
+
+// TestAllowFixture covers the //kregret:allow grammar: comma lists,
+// trailing vs line-above placement, stacked block directives, and the
+// malformed forms reported under the "allow" pseudo-analyzer.
+func TestAllowFixture(t *testing.T) {
+	runFixture(t, "allowfix", "allowfixfix", "allow")
+}
+
+// TestAllowNames pins the directive parser itself: prefix detection,
+// comma splitting, block-comment trimming and the justification cut.
+func TestAllowNames(t *testing.T) {
+	cases := []struct {
+		in    string
+		names []string
+		just  string
+		ok    bool
+	}{
+		{"//kregret:allow floatcmp: reason here", []string{"floatcmp"}, "reason here", true},
+		{"//kregret:allow floatcmp, naninf: shared reason", []string{"floatcmp", "naninf"}, "shared reason", true},
+		{"//kregret:allow floatcmp,naninf,errdrop: tight list", []string{"floatcmp", "naninf", "errdrop"}, "tight list", true},
+		{"/*kregret:allow errdrop: block form*/", []string{"errdrop"}, "block form", true},
+		{"//kregret:allow floatcmp", []string{"floatcmp"}, "", true},
+		{"//kregret:allow : nameless", nil, "nameless", true},
+		{"// an ordinary comment", nil, "", false},
+		{"//kregret:allowfloatcmp: missing space", nil, "", false},
+	}
+	for _, c := range cases {
+		names, just, ok := allowNames(c.in)
+		if ok != c.ok {
+			t.Errorf("allowNames(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if strings.Join(names, "|") != strings.Join(c.names, "|") || just != c.just {
+			t.Errorf("allowNames(%q) = (%v, %q), want (%v, %q)", c.in, names, just, c.names, c.just)
+		}
+	}
+}
+
+// TestEveryAnalyzerAllowlistable guards the directive validator
+// against drift: a directive naming any registered analyzer must pass
+// validation, so adding an analyzer without teaching the allowlist
+// about it is impossible (the names share one registry, All()).
+func TestEveryAnalyzerAllowlistable(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("package allowall\n\n")
+	for _, a := range All() {
+		fmt.Fprintf(&b, "//kregret:allow %s: every registered analyzer must be allowlistable\n", a.Name)
+	}
+	b.WriteString("\nfunc unused() {}\n")
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "allowall.go"), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "allowall")
+	if err != nil {
+		t.Fatalf("loading generated package: %v", err)
+	}
+	for _, f := range Run([]*Package{pkg}, All()) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
 func TestByName(t *testing.T) {
 	as, err := ByName("floatcmp, errdrop")
 	if err != nil {

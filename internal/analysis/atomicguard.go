@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicGuard checks the two synchronization conventions the serving
+// layer is written against:
+//
+//   - A field synchronized through sync/atomic — either a typed
+//     atomic (atomic.Uint64, atomic.Int32, ...) or an integer passed
+//     by address to the atomic.Load*/Store*/Add*/Swap*/CompareAndSwap*
+//     functions — must never also be read or written plainly: mixing
+//     the two silently drops the synchronization on the plain side.
+//   - A struct field declared in the line-contiguous group directly
+//     below a mutex field named "mu"/"muXxx" (the tree's convention,
+//     see serve.Breaker) is guarded by that mutex: accessing it in a
+//     method without holding Lock/RLock is a finding. A blank line
+//     ends the guarded group (serve.Pool keeps its lock-free atomics
+//     below a separating blank). Helpers that run under a caller-held
+//     lock are named with a "Locked" suffix, which exempts them.
+//
+// Lock tracking is lexical per function: Lock/RLock raises the held
+// depth at its position, a non-deferred Unlock/RUnlock lowers it, and
+// a deferred unlock holds to the end of the function. Construction
+// through composite literals is not field access and stays exempt.
+var AtomicGuard = &Analyzer{
+	Name: "atomicguard",
+	Doc:  "atomic fields never plain-accessed; mu-guarded fields only touched under the lock",
+	Run:  runAtomicGuard,
+}
+
+func runAtomicGuard(pass *Pass) {
+	info := pass.Pkg.Info
+	guarded := collectGuardedFields(pass)
+	atomicFns := collectAtomicFnFields(pass)
+
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAtomicAccess(pass, info, fd, atomicFns)
+			if !strings.HasSuffix(fd.Name.Name, "Locked") {
+				checkGuardedAccess(pass, info, fd, guarded)
+			}
+		}
+	}
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's typed
+// atomics (Bool, Int32, Uint64, Pointer[T], Value, ...).
+func isAtomicValueType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) (rw bool, ok bool) {
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// collectGuardedFields maps each convention-guarded struct field to
+// its mutex field, per the mu-prefix + line-contiguity rule.
+func collectGuardedFields(pass *Pass) map[types.Object]types.Object {
+	info := pass.Pkg.Info
+	fset := pass.Pkg.Fset
+	out := map[types.Object]types.Object{}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			var mu types.Object
+			prevEnd := 0
+			for _, f := range st.Fields.List {
+				start := fset.Position(f.Pos()).Line
+				if f.Doc != nil {
+					start = fset.Position(f.Doc.Pos()).Line
+				}
+				contiguous := mu != nil && start == prevEnd+1
+				prevEnd = fset.Position(f.End()).Line
+
+				if len(f.Names) > 0 && isMuName(f.Names[0].Name) {
+					if tv, ok := info.Types[f.Type]; ok {
+						if _, isMu := isMutexType(tv.Type); isMu {
+							mu = info.Defs[f.Names[0]]
+							continue
+						}
+					}
+				}
+				if !contiguous {
+					mu = nil
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := info.Defs[name]; obj != nil {
+						out[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isMuName(name string) bool {
+	if name == "mu" {
+		return true
+	}
+	return strings.HasPrefix(name, "mu") && len(name) > 2 && name[2] >= 'A' && name[2] <= 'Z'
+}
+
+// collectAtomicFnFields finds struct fields whose address is passed
+// to a sync/atomic function (atomic.AddInt64(&s.n, 1), ...): those
+// fields belong to the atomic domain even though their type is plain.
+func collectAtomicFnFields(pass *Pass) map[types.Object]bool {
+	info := pass.Pkg.Info
+	out := map[types.Object]bool{}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObj(info, call).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+					if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+						out[s.Obj()] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkAtomicAccess flags plain accesses of atomic-domain fields.
+func checkAtomicAccess(pass *Pass, info *types.Info, fd *ast.FuncDecl, atomicFns map[types.Object]bool) {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		field := s.Obj()
+		parent := parents[sel]
+
+		if isAtomicValueType(field.Type()) {
+			// Sanctioned shape: the selector is the receiver of a
+			// method call (c.hits.Add(1)) or has its address taken for
+			// one (&c.hits handed to a helper).
+			if p, ok := parent.(*ast.SelectorExpr); ok && p.X == sel {
+				return true
+			}
+			if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "typed atomic %s accessed without its Load/Store/Add methods", field.Name())
+			return true
+		}
+		if atomicFns[field] {
+			// Sanctioned shape: &f as an argument of a sync/atomic call.
+			if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if call, ok := parents[u].(*ast.CallExpr); ok {
+					if fn, ok := calleeObj(info, call).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+						return true
+					}
+				}
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s is managed with sync/atomic but accessed plainly here", field.Name())
+		}
+		return true
+	})
+}
+
+// lockEvent is a Lock/Unlock call or a guarded access, in source
+// order.
+type lockEvent struct {
+	pos    token.Pos
+	mu     types.Object
+	delta  int          // +1 Lock/RLock, -1 Unlock/RUnlock, 0 access
+	field  types.Object // for accesses
+	name   string
+	defers bool
+}
+
+// checkGuardedAccess verifies that convention-guarded fields are only
+// touched while their mutex is lexically held.
+func checkGuardedAccess(pass *Pass, info *types.Info, fd *ast.FuncDecl, guarded map[types.Object]types.Object) {
+	var events []lockEvent
+	inDefer := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			inDefer[d.Call] = true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var delta int
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				delta = 1
+			case "Unlock", "RUnlock":
+				delta = -1
+			default:
+				return true
+			}
+			muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[muSel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			mu := s.Obj()
+			if _, isMu := isMutexType(mu.Type()); !isMu {
+				return true
+			}
+			events = append(events, lockEvent{pos: n.Pos(), mu: mu, delta: delta, defers: inDefer[n]})
+		case *ast.SelectorExpr:
+			s, ok := info.Selections[n]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			if mu, ok := guarded[s.Obj()]; ok {
+				events = append(events, lockEvent{pos: n.Sel.Pos(), mu: mu, field: s.Obj(), name: n.Sel.Name})
+			}
+		}
+		return true
+	})
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	depth := map[types.Object]int{}
+	for _, e := range events {
+		switch {
+		case e.delta > 0:
+			depth[e.mu]++
+		case e.delta < 0:
+			if e.defers {
+				break // deferred unlock releases at return, not here
+			}
+			if depth[e.mu] > 0 {
+				depth[e.mu]--
+			}
+		default:
+			if depth[e.mu] == 0 {
+				pass.Reportf(e.pos, "field %s is guarded by %s but accessed without holding it (rename the helper with a Locked suffix if the caller holds the lock)", e.name, e.mu.Name())
+			}
+		}
+	}
+}

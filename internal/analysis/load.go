@@ -204,6 +204,13 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	return m.std.Import(path)
 }
 
+// ModulePath reads the module declaration from root/go.mod — the
+// import-path prefix against which cmd/kregret-vet resolves its
+// "./..." style package patterns.
+func ModulePath(root string) (string, error) {
+	return modulePath(root)
+}
+
 // modulePath reads the module declaration from root/go.mod.
 func modulePath(root string) (string, error) {
 	data, err := os.ReadFile(filepath.Join(root, "go.mod"))

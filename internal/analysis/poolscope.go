@@ -1,0 +1,474 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolScope checks the sync.Pool scratch discipline the hot paths
+// rely on (internal/core/scratch.go, internal/lp, internal/dd): a
+// pooled value is borrowed for the duration of one lexical scope and
+// handed back exactly once.
+//
+// The analyzer recognizes both direct pool.Get()/pool.Put(x) calls
+// and the package's own accessor pairs (a get-wrapper contains a
+// direct Get and returns the value; a put-wrapper contains a direct
+// Put), then checks each function body:
+//
+//   - a Get whose value is neither Put back, returned to the caller,
+//     nor covered by a deferred Put leaks the allocation;
+//   - a return statement between a Get and its (non-deferred) Put
+//     leaks on that path — `defer put(x)` is the sanctioned idiom;
+//   - using the pooled value after a non-deferred Put in the same
+//     block races with the next borrower;
+//   - putting a mat.PointMatrix.Row view returns a window of the
+//     shared backing array to the pool as if it were owned scratch.
+//
+// The checks are lexical, not path-sensitive: branches that Put on
+// one arm only are modeled by the earliest Put position. That is
+// exactly strict enough for the tree's get/defer-put idiom.
+var PoolScope = &Analyzer{
+	Name: "poolscope",
+	Doc:  "sync.Pool values: every Get matched by a Put on all return paths, no use after Put, no pooled Row views",
+	Run:  runPoolScope,
+}
+
+// poolWrapper classifies a package function as a pool accessor.
+type poolWrapper struct {
+	pool types.Object // the sync.Pool variable it touches
+	get  bool         // returns a pooled value
+	put  bool         // hands a parameter/receiver back
+}
+
+// poolEvent is one borrow/return event in a function scope, in
+// lexical order.
+type poolEvent struct {
+	pos      token.Pos
+	pool     types.Object
+	get      bool
+	deferred bool
+	val      types.Object // the borrowed/returned variable, if identifiable
+	isRow    bool         // put argument is a PointMatrix.Row view
+}
+
+func runPoolScope(pass *Pass) {
+	info := pass.Pkg.Info
+	wrappers := classifyPoolWrappers(pass)
+
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			self := wrappers[funcObj(info, fd)]
+			for _, scope := range poolScopes(fd.Body) {
+				checkPoolScope(pass, info, wrappers, scope, self)
+			}
+		}
+	}
+}
+
+// poolScopes splits a function body into independently-checked
+// lexical scopes: the body itself plus every nested function literal
+// (parallel.For bodies borrow their own scratch). A FuncLit that is
+// immediately deferred stays part of its enclosing scope, so
+// `defer func() { pool.Put(x) }()` counts as a deferred Put.
+func poolScopes(body *ast.BlockStmt) []ast.Node {
+	scopes := []ast.Node{body}
+	skip := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				skip[fl] = true
+			}
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && !skip[fl] {
+			scopes = append(scopes, fl.Body)
+		}
+		return true
+	})
+	return scopes
+}
+
+// classifyPoolWrappers finds the package's accessor functions around
+// direct sync.Pool calls.
+func classifyPoolWrappers(pass *Pass) map[types.Object]*poolWrapper {
+	info := pass.Pkg.Info
+	out := map[types.Object]*poolWrapper{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var w poolWrapper
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pool, kind := directPoolCall(info, call); pool != nil {
+					w.pool = pool
+					if kind == "Get" {
+						w.get = true
+					} else {
+						w.put = true
+					}
+				}
+				return true
+			})
+			// A function with both a Get and a Put manages the value
+			// itself and is checked as a plain scope, not a wrapper.
+			if w.pool == nil || (w.get && w.put) {
+				continue
+			}
+			if w.get && fd.Type.Results == nil {
+				continue // consumes the value itself; checked as a scope
+			}
+			out[funcObj(info, fd)] = &w
+		}
+	}
+	return out
+}
+
+// directPoolCall matches expr.Get() / expr.Put(x) on a sync.Pool and
+// returns the pool variable's object and the method name.
+func directPoolCall(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
+		return nil, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, ""
+	}
+	return lastIdentObj(info, sel.X), sel.Sel.Name
+}
+
+// lastIdentObj resolves the variable at the end of a selector chain
+// (accPool, p.pool, ...).
+func lastIdentObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// funcObj resolves a declaration to its types.Object.
+func funcObj(info *types.Info, fd *ast.FuncDecl) types.Object {
+	return info.Defs[fd.Name]
+}
+
+func checkPoolScope(pass *Pass, info *types.Info, wrappers map[types.Object]*poolWrapper, scope ast.Node, self *poolWrapper) {
+	events := collectPoolEvents(info, wrappers, scope)
+	if len(events) == 0 {
+		return
+	}
+
+	// Returned pooled variables: the scope hands ownership upward
+	// (transitive get-wrapper), which exempts the matching Get.
+	returned := map[types.Object]bool{}
+	var returns []token.Pos
+	walkScope(scope, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		returns = append(returns, ret.Pos())
+		for _, res := range ret.Results {
+			if obj := lastIdentObj(info, res); obj != nil {
+				returned[obj] = true
+			}
+		}
+	})
+
+	for _, pool := range poolsOf(events) {
+		var gets, puts []poolEvent
+		hasDeferredPut := false
+		for _, e := range events {
+			if e.pool != pool {
+				continue
+			}
+			if e.get {
+				gets = append(gets, e)
+			} else {
+				puts = append(puts, e)
+				if e.deferred {
+					hasDeferredPut = true
+				}
+			}
+		}
+
+		for _, p := range puts {
+			if p.isRow {
+				pass.Reportf(p.pos, "Put of a PointMatrix.Row view: row views window the shared backing array and must never enter a pool")
+			}
+		}
+
+		for _, g := range gets {
+			if g.get && self != nil && self.get && self.pool == pool {
+				continue // the accessor's own Get is returned by contract
+			}
+			if g.val != nil && returned[g.val] {
+				continue
+			}
+			if len(puts) == 0 {
+				pass.Reportf(g.pos, "sync.Pool Get without a matching Put in this scope: the borrowed value leaks")
+				continue
+			}
+			if !hasDeferredPut {
+				firstPut := puts[0].pos
+				for _, p := range puts {
+					if p.pos < firstPut {
+						firstPut = p.pos
+					}
+				}
+				for _, rpos := range returns {
+					if rpos > g.pos && rpos < firstPut {
+						pass.Reportf(rpos, "return between Pool.Get and Put leaks the pooled value: use `defer put(...)`")
+					}
+				}
+			}
+		}
+
+		// Use after a non-deferred Put, within the Put's own block.
+		for _, p := range puts {
+			if p.deferred || p.val == nil {
+				continue
+			}
+			checkUseAfterPut(pass, info, scope, p)
+		}
+	}
+}
+
+// poolsOf returns the distinct pools of the event list in order.
+func poolsOf(events []poolEvent) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	for _, e := range events {
+		if !seen[e.pool] {
+			seen[e.pool] = true
+			out = append(out, e.pool)
+		}
+	}
+	return out
+}
+
+// collectPoolEvents gathers Get/Put events (direct or through the
+// package's accessor pairs) of one scope in lexical order.
+func collectPoolEvents(info *types.Info, wrappers map[types.Object]*poolWrapper, scope ast.Node) []poolEvent {
+	var events []poolEvent
+	inDefer := map[ast.Node]bool{}
+	walkScope(scope, func(n ast.Node) {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			inDefer[d.Call] = true
+			if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok {
+						inDefer[c] = true
+					}
+					return true
+				})
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if pool, kind := directPoolCall(info, call); pool != nil {
+			e := poolEvent{pos: call.Pos(), pool: pool, get: kind == "Get", deferred: inDefer[call]}
+			if kind == "Put" && len(call.Args) == 1 {
+				e.val = lastIdentObj(info, sliceRoot(call.Args[0]))
+				e.isRow = isRowViewExpr(info, call.Args[0])
+			} else if kind == "Get" {
+				e.val = boundVar(info, call)
+			}
+			events = append(events, e)
+			return
+		}
+		obj := calleeObj(info, call)
+		if obj == nil {
+			return
+		}
+		w, ok := wrappers[obj]
+		if !ok {
+			return
+		}
+		e := poolEvent{pos: call.Pos(), pool: w.pool, get: w.get, deferred: inDefer[call]}
+		if w.put {
+			// t.release() hands back the receiver; put(x) the argument.
+			if len(call.Args) >= 1 {
+				e.val = lastIdentObj(info, sliceRoot(call.Args[0]))
+				e.isRow = isRowViewExpr(info, call.Args[0])
+			} else if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				e.val = lastIdentObj(info, sel.X)
+			}
+		} else {
+			e.val = boundVar(info, call)
+		}
+		events = append(events, e)
+	})
+	return events
+}
+
+// boundVar finds the variable a Get-shaped call is assigned to:
+// v := pool.Get().(T), v := floatScratch(n).
+func boundVar(info *types.Info, call *ast.CallExpr) types.Object {
+	// The call may sit under a type assertion; the assignment is the
+	// nearest enclosing AssignStmt — recovered lexically by the caller
+	// walking statements. Here we only handle the common direct forms
+	// via the parent links the walker records.
+	if parent := poolParents[call]; parent != nil {
+		for p := parent; p != nil; p = poolParents[p] {
+			if as, ok := p.(*ast.AssignStmt); ok {
+				if len(as.Lhs) >= 1 {
+					if id, ok := as.Lhs[0].(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							return obj
+						}
+						return info.Uses[id]
+					}
+				}
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// poolParents maps each node of the scope currently being walked to
+// its parent. Rebuilt per scope by walkScope; package-scoped to keep
+// the helper signatures small (analysis passes are single-threaded).
+var poolParents map[ast.Node]ast.Node
+
+// walkScope traverses the scope in lexical order without descending
+// into nested non-deferred function literals (they are scopes of
+// their own), recording parent links for boundVar.
+func walkScope(scope ast.Node, visit func(ast.Node)) {
+	poolParents = map[ast.Node]ast.Node{}
+	deferredLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				deferredLits[fl] = true
+			}
+		}
+		return true
+	})
+	var parent ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != scope && !deferredLits[fl] {
+			return false
+		}
+		poolParents[n] = parent
+		visit(n)
+		saved := parent
+		parent = n
+		for _, c := range childNodes(n) {
+			walk(c)
+		}
+		parent = saved
+		return true
+	}
+	walk(scope)
+}
+
+// sliceRoot unwraps slice/index expressions (b[:0], (*acc)) to the
+// underlying variable expression.
+func sliceRoot(e ast.Expr) ast.Expr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				e = x.X
+				continue
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// isRowViewExpr reports whether e is (or is a slice of) a call to the
+// Row method of a type named PointMatrix — matched by name, like the
+// slicealias Row-view checks, so fixtures need not import the real
+// mat package.
+func isRowViewExpr(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(sliceRoot(e)).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Row" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "PointMatrix"
+}
+
+// checkUseAfterPut flags uses of the put variable after the Put call
+// within the same immediate block (statement list).
+func checkUseAfterPut(pass *Pass, info *types.Info, scope ast.Node, put poolEvent) {
+	var enclosing *ast.BlockStmt
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BlockStmt); ok {
+			for _, st := range b.List {
+				if st.Pos() <= put.pos && put.pos < st.End() {
+					// Keep descending: the innermost block wins.
+					enclosing = b
+				}
+			}
+		}
+		return true
+	})
+	if enclosing == nil {
+		if b, ok := scope.(*ast.BlockStmt); ok {
+			enclosing = b
+		} else {
+			return
+		}
+	}
+	for _, st := range enclosing.List {
+		if st.Pos() <= put.pos {
+			continue
+		}
+		ast.Inspect(st, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if info.Uses[id] == put.val {
+				pass.Reportf(id.Pos(), "%s used after it was returned to its pool: the next borrower may already own it", id.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,46 @@
+// Package allowfix exercises the //kregret:allow directive grammar:
+// comma-separated analyzer lists, trailing vs line-above placement,
+// several directives on one line, and the malformed forms that must
+// fail loudly under the "allow" pseudo-analyzer instead of silently
+// suppressing nothing.
+package allowfix
+
+// dualEOL suppresses two analyzers with one trailing comma-list
+// directive: the unguarded division trips naninf and the float
+// comparison trips floatcmp, on the same line.
+func dualEOL(a, b, c float64) bool {
+	return a/b == c //kregret:allow floatcmp, naninf: fixture exercises the trailing comma-list form
+}
+
+// dualLineAbove covers the line-below application of the same
+// comma-list directive.
+func dualLineAbove(a, b, c float64) bool {
+	//kregret:allow floatcmp, naninf: fixture exercises the line-above comma-list form
+	return a/b == c
+}
+
+// twoDirectives stacks two independent block-form directives on one
+// line, each naming and justifying its own analyzer.
+func twoDirectives(a, b, c float64) bool {
+	return a/b == c /*kregret:allow floatcmp: constants compared exactly by design*/ /*kregret:allow naninf: divisor validated by the caller*/
+}
+
+// unknownName lists an analyzer that does not exist: the typo must
+// surface as a finding, not silently vouch for nothing.
+func unknownName(a, b float64) bool {
+	//kregret:allow floatcmp, nosuchcheck: typo'd names must fail loudly // want: allow
+	return a == b
+}
+
+// missingJustification omits the reason after the colon (the block
+// form keeps the comment free of want-marker colons); the directive
+// still parses but the omission is a finding of its own.
+func missingJustification(a, b float64) bool {
+	/*kregret:allow floatcmp*/ // want: allow
+	return a == b
+}
+
+// namelessDirective names no analyzer at all.
+func namelessDirective() {
+	//kregret:allow : nobody named here // want: allow
+}

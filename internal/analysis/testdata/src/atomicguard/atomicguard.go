@@ -1,0 +1,92 @@
+// Package atomicguard seeds violations of the two synchronization
+// conventions checked by the atomicguard analyzer: fields in the
+// atomic domain (typed atomics, or integers driven through the
+// sync/atomic functions) must never be accessed plainly, and fields
+// in the line-contiguous group under a mu-named mutex must only be
+// touched while that mutex is held. The blank-line break and the
+// "Locked" helper-suffix convention are exercised as clean cases.
+package atomicguard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter mixes the three synchronization domains the analyzer
+// distinguishes.
+type counter struct {
+	// hits is a typed atomic: only its Load/Store/Add methods may
+	// touch it.
+	hits atomic.Int64
+	// dropped is a plain int64 managed through atomic.AddInt64.
+	dropped int64
+
+	// mu guards the contiguous group below it.
+	mu   sync.Mutex
+	val  int
+	name string
+
+	// label sits after the blank line: outside the guarded group.
+	label string
+}
+
+// Hit is the clean path: atomic methods for the atomic domain, the
+// lock for the guarded group, plain access for the free tail.
+func (c *counter) Hit(name string) {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.dropped, 1)
+	c.mu.Lock()
+	c.val++
+	c.name = name
+	c.mu.Unlock()
+	c.label = name
+}
+
+// snapshot reads the guarded group without holding mu.
+func (c *counter) snapshot() (int, string) {
+	v := c.val   // want: atomicguard
+	n := c.name  // want: atomicguard
+	return v, n
+}
+
+// copyAtomic copies the typed atomic by value instead of Load.
+func (c *counter) copyAtomic() int64 {
+	snap := c.hits // want: atomicguard
+	return snap.Load()
+}
+
+// resetDropped writes the atomically-managed counter plainly,
+// silently dropping the synchronization on this side.
+func (c *counter) resetDropped() {
+	c.dropped = 0 // want: atomicguard
+}
+
+// bumpLocked runs under a caller-held lock, which its name declares.
+func (c *counter) bumpLocked() {
+	c.val++
+}
+
+// approxVal is a sanctioned dirty read, reviewed and allowlisted.
+func (c *counter) approxVal() int {
+	//kregret:allow atomicguard: monitoring endpoint tolerates a stale read
+	return c.val
+}
+
+// registry exercises the muXxx naming form and RWMutex read locking.
+type registry struct {
+	muIndex sync.RWMutex
+	index   map[string]int
+}
+
+// Get reads the index under the read lock (deferred unlock holds to
+// the end of the function).
+func (r *registry) Get(k string) int {
+	r.muIndex.RLock()
+	defer r.muIndex.RUnlock()
+	return r.index[k]
+}
+
+// size reads the guarded map without the lock.
+func (r *registry) size() int {
+	return len(r.index) // want: atomicguard
+}

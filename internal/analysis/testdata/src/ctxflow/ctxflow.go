@@ -1,0 +1,90 @@
+// Package ctxflow seeds violations of the context-plumbing
+// discipline (checked by the ctxflow analyzer): fresh
+// Background/TODO roots outside package main and compat wrappers,
+// goroutine spawners that give the caller no cancellation handle,
+// contexts hiding in struct fields, and contexts demoted from the
+// first parameter slot. The clean counterexamples pin down the
+// sanctioned shapes: the Find → FindCtx compat wrapper and the two
+// allowlisted lifecycle exceptions.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+)
+
+// Fetch spawns a worker goroutine but accepts no context, so the
+// caller cannot bound the spawned work's lifetime.
+func Fetch(addr string) { // want: ctxflow
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = addr
+	}()
+	wg.Wait()
+}
+
+// Lookup mints a background root and hands it to a helper that is
+// not its counterpart ("lookupCtx" differs in case from "LookupCtx"),
+// so the compat-wrapper exemption must not apply.
+func Lookup(addr string) int {
+	ctx := context.Background() // want: ctxflow
+	return lookupCtx(ctx, addr)
+}
+
+func lookupCtx(ctx context.Context, addr string) int {
+	_ = ctx
+	return len(addr)
+}
+
+// Find delegates its background root into its own Ctx counterpart —
+// the sanctioned Query → QueryContext compat idiom; stays clean.
+func Find(addr string) int {
+	return FindCtx(context.Background(), addr)
+}
+
+// FindCtx is the context-taking counterpart of Find.
+func FindCtx(ctx context.Context, addr string) int {
+	_ = ctx
+	return len(addr)
+}
+
+// Process demotes the context to the second parameter.
+func Process(n int, ctx context.Context) int { // want: ctxflow
+	_ = ctx
+	return n
+}
+
+// Refresh already receives a context but mints a fresh root anyway,
+// detaching the work from its caller's deadline.
+func Refresh(ctx context.Context) {
+	_ = ctx
+	other := context.TODO() // want: ctxflow
+	_ = other
+}
+
+// session stores a context beyond any single call.
+type session struct {
+	ctx  context.Context // want: ctxflow
+	name string
+}
+
+// carrier is the sanctioned exception to the struct-field rule: a
+// request-scoped carrier that never outlives the call that made it.
+type carrier struct {
+	//kregret:allow ctxflow: request-scoped carrier, dies with the call that made it
+	ctx context.Context
+	fn  func()
+}
+
+// StartWorkers spawns workers whose lifetime is owned by the returned
+// carrier rather than any request — the reviewed lifecycle exception.
+//kregret:allow ctxflow: worker lifetime is bound to the carrier, not a request context
+func StartWorkers(n int) *carrier {
+	c := &carrier{fn: func() {}}
+	for i := 0; i < n; i++ {
+		go c.fn()
+	}
+	return c
+}

@@ -30,9 +30,9 @@ var parallel parallelStub
 
 // capturedScalar accumulates into a variable shared by every chunk:
 // the classic lost-update race a per-slot fill avoids.
-func capturedScalar(xs []float64) (float64, error) {
+func capturedScalar(ctx context.Context, xs []float64) (float64, error) {
 	sum := 0.0
-	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+	err := parallel.For(ctx, len(xs), 0, 1, func(start, end int) error {
 		for i := start; i < end; i++ {
 			sum += xs[i] // want: slicealias
 		}
@@ -43,9 +43,9 @@ func capturedScalar(xs []float64) (float64, error) {
 
 // capturedAppend grows a shared slice from concurrent chunks: both
 // the length word and the backing array race.
-func capturedAppend(xs []float64) ([]float64, error) {
+func capturedAppend(ctx context.Context, xs []float64) ([]float64, error) {
 	var out []float64
-	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+	err := parallel.For(ctx, len(xs), 0, 1, func(start, end int) error {
 		for i := start; i < end; i++ {
 			if xs[i] > 0.5 {
 				out = append(out, xs[i]) // want: slicealias
@@ -59,10 +59,10 @@ func capturedAppend(xs []float64) ([]float64, error) {
 // chunkIndependentIndex writes slots addressed by a shared cursor
 // instead of the loop index: distinct chunks collide on the cursor
 // and on each other's slots.
-func chunkIndependentIndex(xs []float64) ([]float64, error) {
+func chunkIndependentIndex(ctx context.Context, xs []float64) ([]float64, error) {
 	hits := make([]float64, len(xs))
 	cursor := 0
-	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+	err := parallel.For(ctx, len(xs), 0, 1, func(start, end int) error {
 		for i := start; i < end; i++ {
 			hits[cursor] = xs[i] // want: slicealias
 			cursor++             // want: slicealias
@@ -74,9 +74,9 @@ func chunkIndependentIndex(xs []float64) ([]float64, error) {
 
 // capturedMap writes a shared map: concurrent map writes race even at
 // distinct chunk-derived keys.
-func capturedMap(xs []float64) (map[int]float64, error) {
+func capturedMap(ctx context.Context, xs []float64) (map[int]float64, error) {
 	seen := make(map[int]float64, len(xs))
-	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+	err := parallel.For(ctx, len(xs), 0, 1, func(start, end int) error {
 		for i := start; i < end; i++ {
 			seen[i] = xs[i] // want: slicealias
 		}
@@ -87,9 +87,9 @@ func capturedMap(xs []float64) (map[int]float64, error) {
 
 // argMaxSideEffect mutates shared state from an ArgMax value
 // function, which must be a pure read.
-func argMaxSideEffect(xs []float64) (int, error) {
+func argMaxSideEffect(ctx context.Context, xs []float64) (int, error) {
 	visits := 0
-	best, _, err := parallel.ArgMax(context.Background(), len(xs), 0, 1, func(i int) (float64, bool) {
+	best, _, err := parallel.ArgMax(ctx, len(xs), 0, 1, func(i int) (float64, bool) {
 		visits++ // want: slicealias
 		return xs[i], true
 	})
@@ -100,10 +100,10 @@ func argMaxSideEffect(xs []float64) (int, error) {
 // perSlotFill is the sanctioned idiom: every write lands in a slot
 // addressed by the chunk loop variable, locals stay inside the body,
 // and derived offsets (i - start) inherit the chunk taint.
-func perSlotFill(xs []float64) ([]float64, error) {
+func perSlotFill(ctx context.Context, xs []float64) ([]float64, error) {
 	res := make([]float64, len(xs))
 	scratch := make([]float64, len(xs))
-	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+	err := parallel.For(ctx, len(xs), 0, 1, func(start, end int) error {
 		local := 0.0
 		for i := start; i < end; i++ {
 			j := i - start
@@ -118,9 +118,9 @@ func perSlotFill(xs []float64) ([]float64, error) {
 
 // reduceAfterJoin reads the per-slot results sequentially once the
 // fan-out has returned: writes outside the body are not chunk writes.
-func reduceAfterJoin(xs []float64) (float64, error) {
+func reduceAfterJoin(ctx context.Context, xs []float64) (float64, error) {
 	res := make([]float64, len(xs))
-	err := parallel.For(context.Background(), len(xs), 0, 1, func(start, end int) error {
+	err := parallel.For(ctx, len(xs), 0, 1, func(start, end int) error {
 		for i := start; i < end; i++ {
 			res[i] = xs[i]
 		}
@@ -139,9 +139,9 @@ func reduceAfterJoin(xs []float64) (float64, error) {
 // allowedSingleWriter documents the escape hatch: a body that the
 // caller guarantees runs single-chunk may suppress the finding with
 // the standard directive.
-func allowedSingleWriter(xs []float64) (float64, error) {
+func allowedSingleWriter(ctx context.Context, xs []float64) (float64, error) {
 	total := 0.0
-	err := parallel.For(context.Background(), len(xs), 1, len(xs)+1, func(start, end int) error {
+	err := parallel.For(ctx, len(xs), 1, len(xs)+1, func(start, end int) error {
 		for i := start; i < end; i++ {
 			//kregret:allow slicealias: single chunk by construction (grain > n)
 			total += xs[i]

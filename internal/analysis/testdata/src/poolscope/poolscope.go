@@ -1,0 +1,114 @@
+// Package poolscope seeds violations of the sync.Pool scratch
+// discipline (checked by the poolscope analyzer): borrows that leak
+// on a path or outright, uses after the value went back to the pool,
+// and a PointMatrix.Row view handed to a pool as if it were owned
+// scratch. getBuf/putBuf mirror the accessor-pair idiom of
+// internal/core/scratch.go so the wrapper classification is exercised
+// alongside direct Get/Put calls.
+package poolscope
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]float64, 0, 64) }}
+
+// getBuf borrows a scratch buffer (get-wrapper: contains the direct
+// Get and returns the value, so its own borrow is exempt by contract).
+func getBuf() []float64 {
+	return bufPool.Get().([]float64)[:0]
+}
+
+// putBuf hands a buffer back (put-wrapper).
+func putBuf(b []float64) {
+	bufPool.Put(b[:0])
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// leakNoPut borrows and never returns the buffer: every call grows
+// the heap instead of recycling.
+func leakNoPut(n int) float64 {
+	b := getBuf() // want: poolscope
+	for i := 0; i < n; i++ {
+		b = append(b, float64(i))
+	}
+	return sum(b)
+}
+
+// leakEarlyReturn puts only on the success path; the early return
+// leaks the borrow, which `defer putBuf(b)` would have covered.
+func leakEarlyReturn(n int) float64 {
+	b := getBuf()
+	if n == 0 {
+		return 0 // want: poolscope
+	}
+	for i := 0; i < n; i++ {
+		b = append(b, float64(i))
+	}
+	t := sum(b)
+	putBuf(b)
+	return t
+}
+
+// useAfterPut touches the buffer after handing it back: the next
+// borrower may already own it.
+func useAfterPut(n int) float64 {
+	b := getBuf()
+	b = append(b, float64(n))
+	t := sum(b)
+	putBuf(b)
+	t += b[0] // want: poolscope
+	return t
+}
+
+// PointMatrix is the fixture stand-in for mat.PointMatrix (matched by
+// type name, like the slicealias Row checks).
+type PointMatrix struct {
+	data []float64
+	d    int
+}
+
+// Row mirrors mat's capacity-trimmed view accessor.
+func (m *PointMatrix) Row(i int) []float64 {
+	return m.data[i*m.d : (i+1)*m.d : (i+1)*m.d]
+}
+
+// putRowView feeds a window of the shared backing array to the pool:
+// the next Get would hand out live matrix memory as scratch.
+func putRowView(m *PointMatrix) {
+	bufPool.Put(m.Row(0)) // want: poolscope
+}
+
+// cleanDefer is the sanctioned idiom: borrow once, defer the return,
+// leak on no path.
+func cleanDefer(n int) float64 {
+	b := getBuf()
+	defer func() { putBuf(b) }()
+	for i := 0; i < n; i++ {
+		b = append(b, float64(i))
+	}
+	return sum(b)
+}
+
+// passThrough returns the borrowed value to its caller: a transitive
+// get-wrapper, exempt because ownership moves up, not away.
+func passThrough() []float64 {
+	b := getBuf()
+	return b
+}
+
+// handOff moves the buffer into a channel whose drain loop returns it
+// — invisible to the lexical checker, so reviewed and allowlisted.
+func handOff(ch chan []float64) {
+	b := getBuf() //kregret:allow poolscope: ownership transfers through the channel; drain returns it
+	ch <- b
+}
+
+func drain(ch chan []float64) {
+	putBuf(<-ch)
+}

@@ -1,0 +1,74 @@
+// Package wireguard seeds violations of the gob wire-format manifest
+// convention (checked by the wireguard analyzer): every gob-encoded
+// struct must have a wireManifest entry pinning its version and field
+// layout on one reviewed line. recordWire is the registered happy
+// path; the others drift from their entries in each way the analyzer
+// distinguishes.
+package wireguard
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// recordWire is registered and consistent: fields and pinned version
+// both match its manifest entry.
+type recordWire struct {
+	Version int
+	N       int
+	Tags    []string
+}
+
+const recordVersion = 3
+
+// orphanWire is gob-encoded but missing from the manifest.
+type orphanWire struct {
+	Version int
+}
+
+// driftWire gained a Count field without its manifest entry (and so
+// its version) being touched.
+type driftWire struct {
+	Version int
+	Name    string
+	Count   int
+}
+
+// skewWire's manifest entry claims v2 while Save pins Version to 1.
+type skewWire struct {
+	Version int
+}
+
+// scratchWire is a debug-only dump with no compat promise; its encode
+// site is allowlisted instead of registered.
+type scratchWire struct{ X int }
+
+var wireManifest = map[string]string{
+	"recordWire": "v3 Version int; N int; Tags []string",
+	"driftWire":  "v1 Version int; Name string", // want: wireguard
+	"skewWire":   "v2 Version int",              // want: wireguard
+	"ghostWire":  "v1 Version int",              // want: wireguard
+}
+
+func saveRecord(w io.Writer, n int, tags []string) error {
+	return gob.NewEncoder(w).Encode(recordWire{Version: recordVersion, N: n, Tags: tags})
+}
+
+func saveOrphan(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(orphanWire{Version: 1}) // want: wireguard
+}
+
+func loadDrift(r io.Reader) (driftWire, error) {
+	var wire driftWire
+	err := gob.NewDecoder(r).Decode(&wire)
+	return wire, err
+}
+
+func saveSkew(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(skewWire{Version: 1})
+}
+
+func dumpScratch(w io.Writer, v scratchWire) error {
+	//kregret:allow wireguard: debug-only dump, no compat promise to keep
+	return gob.NewEncoder(w).Encode(v)
+}

@@ -68,6 +68,14 @@ func MRRGeometricParCtx(ctx context.Context, pts []geom.Vector, sel []int, worke
 // slower than MRRGeometric and exists as an independent oracle: the
 // two must agree to tolerance on every input.
 func MRRByLP(pts []geom.Vector, sel []int) (float64, error) {
+	return MRRByLPCtx(context.Background(), pts, sel)
+}
+
+// MRRByLPCtx is MRRByLP with cooperative cancellation: the context is
+// checked inside every per-point simplex solve, so a deadline stops
+// the oracle mid-scan. The returned error wraps ctx.Err() when
+// canceled.
+func MRRByLPCtx(ctx context.Context, pts []geom.Vector, sel []int) (float64, error) {
 	if _, err := validatePoints(pts); err != nil {
 		return 0, err
 	}
@@ -76,7 +84,7 @@ func MRRByLP(pts []geom.Vector, sel []int) (float64, error) {
 	}
 	mrr := 0.0
 	for _, q := range pts {
-		z, err := supportByLP(context.Background(), pts, sel, q)
+		z, err := supportByLP(ctx, pts, sel, q)
 		if err != nil {
 			return 0, err
 		}
@@ -204,6 +212,6 @@ func WorstUtilityParCtx(ctx context.Context, pts []geom.Vector, sel []int, worke
 
 // SupportByLPForTest exposes the Greedy candidate LP to tests in
 // other packages (cross-checking GeoGreedy's dual support values).
-func SupportByLPForTest(pts []geom.Vector, sel []int, q geom.Vector) (float64, error) {
-	return supportByLP(context.Background(), pts, sel, q)
+func SupportByLPForTest(ctx context.Context, pts []geom.Vector, sel []int, q geom.Vector) (float64, error) {
+	return supportByLP(ctx, pts, sel, q)
 }

@@ -30,6 +30,13 @@ type Face struct {
 // This accessor exists for inspection, visualization and testing; the
 // query algorithms use the dual directly.
 func FacesOf(pts []geom.Vector, sel []int) ([]Face, error) {
+	return FacesOfCtx(context.Background(), pts, sel)
+}
+
+// FacesOfCtx is FacesOf with cooperative cancellation: the context is
+// checked inside every dual-hull insertion. The returned error wraps
+// ctx.Err() when canceled.
+func FacesOfCtx(ctx context.Context, pts []geom.Vector, sel []int) ([]Face, error) {
 	if _, err := validatePoints(pts); err != nil {
 		return nil, err
 	}
@@ -45,7 +52,7 @@ func FacesOf(pts []geom.Vector, sel []int) ([]Face, error) {
 		return nil, err
 	}
 	for _, p := range selPts {
-		if _, err := hull.insert(context.Background(), p); err != nil {
+		if _, err := hull.insert(ctx, p); err != nil {
 			return nil, err
 		}
 	}
@@ -86,6 +93,12 @@ func FacesOf(pts []geom.Vector, sel []int) ([]Face, error) {
 // origin to the boundary of Conv(S) at which q sits (< 1 outside,
 // 1 on the boundary, > 1 inside).
 func CriticalRatioOf(pts []geom.Vector, sel []int, q geom.Vector) (float64, error) {
+	return CriticalRatioOfCtx(context.Background(), pts, sel, q)
+}
+
+// CriticalRatioOfCtx is CriticalRatioOf with cooperative cancellation
+// (see FacesOfCtx for the check granularity).
+func CriticalRatioOfCtx(ctx context.Context, pts []geom.Vector, sel []int, q geom.Vector) (float64, error) {
 	if _, err := validatePoints(pts); err != nil {
 		return 0, err
 	}
@@ -107,7 +120,7 @@ func CriticalRatioOf(pts []geom.Vector, sel []int, q geom.Vector) (float64, erro
 		return 0, err
 	}
 	for _, p := range selPts {
-		if _, err := hull.insert(context.Background(), p); err != nil {
+		if _, err := hull.insert(ctx, p); err != nil {
 			return 0, err
 		}
 	}

@@ -77,14 +77,32 @@ const scanBatch = 4096
 
 // Per-site parallel grains: the minimum chunk sizes handed to
 // parallel.For/ArgMax, sized so chunk scheduling stays well under the
-// per-item work.
-const (
-	// grainSupport covers dual-hull support evaluations (a dot
-	// product per hull vertex per candidate).
-	grainSupport = 256
+// per-item work. Vars, not consts: fault-injection builds shrink them
+// (geogreedy_fault.go) so the worker fan-out path — and the fault
+// sites inside it — is reachable from test-sized datasets.
+var (
+	// grainSupport covers the one-time assignment scan's dual-hull
+	// support evaluations. The kernel is heavy per item (a dot
+	// product per hull vertex per candidate), but it runs once per
+	// query while the scan itself is batched (scanBatch) and
+	// cache-hot; profiled against the k-iteration loop it is a
+	// single-digit share of a GeoGreedy query, so the grain is sized
+	// for six-figure sweeps — below two grains the scan runs inline
+	// and narrow machines skip the fan-out latency entirely
+	// (BENCH_51b6548.json recorded 0.96x from exactly that overhead).
+	grainSupport = 65536
+	// grainRelocate covers the per-iteration relocation pass. Most
+	// iterations touch only the few candidates whose best face was
+	// capped, so the per-item work is a cheap guard plus an
+	// occasional small MaxDotCols; chunks below this size cost more
+	// in scheduling than they save, and sweeps under two grains run
+	// inline — which is what keeps the k-iteration loop from paying
+	// goroutine latency k times on narrow machines.
+	grainRelocate = 65536
 	// grainReduce covers pure loads/compares over cached candidate
-	// state.
-	grainReduce = 4096
+	// state (the argmax reductions); same inline reasoning as
+	// grainRelocate.
+	grainReduce = 65536
 )
 
 // candState caches, for one unselected candidate, the dual vertex
@@ -242,7 +260,7 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 				capIDs = append(capIDs, v.ID)
 			}
 			capT := mat.TransposeVectors(qm.Dim(), capPts)
-			err := parallel.For(ctx, len(states), workers, grainSupport, func(start, end int) error {
+			err := parallel.For(ctx, len(states), workers, grainRelocate, func(start, end int) error {
 				acc := floatScratch(len(capPts))
 				defer putFloatScratch(acc)
 				for i := start; i < end; i++ {

@@ -1,0 +1,16 @@
+//go:build kregretfault
+
+package core
+
+// Fault-injection builds exist to exercise the parallel worker path —
+// SiteParallelWorker fires inside spawned workers, and a sweep that
+// runs inline (n < 2·grain) never reaches it. The production grains
+// are sized for six-figure datasets, which would force every fault
+// test to build one; shrinking them here keeps the fan-out threshold
+// at the seed values the fault suites were sized against (a few
+// thousand points split every solver stage into multiple chunks).
+func init() {
+	grainSupport = 256
+	grainRelocate = 256
+	grainReduce = 1024
+}

@@ -24,6 +24,14 @@ type storedListWire struct {
 
 const storedListVersion = 1
 
+// wireManifest pins the gob wire layout of every struct this package
+// persists (checked by the wireguard analyzer): changing a field
+// means rewriting the entry on this line, which is where the version
+// bump and the decoder's compat path get reviewed together.
+var wireManifest = map[string]string{
+	"storedListWire": "v1 Version int; Dim int; NCand int; Complete bool; Order []int; MRRAt []float64",
+}
+
 // Save serializes the materialized list. The candidate set itself is
 // not stored — the caller must pair the list with the exact
 // candidates it was built from (package kregret's Index.Save stores a

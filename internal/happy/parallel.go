@@ -1,6 +1,8 @@
 package happy
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -17,11 +19,27 @@ import (
 // and parallelizes embarrassingly because the adversary set is
 // read-only.
 func ComputeAmongSkylineParallel(pts []geom.Vector, sky []int, workers int) []int {
+	out, err := ComputeAmongSkylineParallelCtx(context.Background(), pts, sky, workers)
+	if err != nil {
+		// Unreachable: the background context is never canceled. Keep
+		// the sequential answer as the correctness backstop anyway.
+		return computeAmong(pts, sky, sky)
+	}
+	return out
+}
+
+// ComputeAmongSkylineParallelCtx is ComputeAmongSkylineParallel with
+// cooperative cancellation: the context is checked before each chunk
+// claim, so a deadline stops the preprocessing within one chunk of
+// work per goroutine. The returned error wraps ctx.Err() when
+// canceled; the result is identical to the sequential version
+// whenever the error is nil.
+func ComputeAmongSkylineParallelCtx(ctx context.Context, pts []geom.Vector, sky []int, workers int) ([]int, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || len(sky) < 64 {
-		return computeAmong(pts, sky, sky)
+		return computeAmong(pts, sky, sky), nil
 	}
 	var (
 		wg   sync.WaitGroup
@@ -35,7 +53,7 @@ func ComputeAmongSkylineParallel(pts []geom.Vector, sky []int, workers int) []in
 		go func() {
 			defer wg.Done()
 			local := make([]int, 0, len(sky)/workers+1)
-			for {
+			for ctx.Err() == nil {
 				mu.Lock()
 				start := next
 				next += chunk
@@ -67,6 +85,9 @@ func ComputeAmongSkylineParallel(pts []geom.Vector, sky []int, workers int) []in
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("happy: canceled during happy-point preprocessing: %w", err)
+	}
 	sort.Ints(out)
-	return out
+	return out, nil
 }

@@ -91,7 +91,7 @@ func (b *Breaker) Allow() bool {
 	defer b.mu.Unlock()
 	now := b.cfg.Now()
 	if fault.Enabled && fault.Active(fault.SiteServeBreakerTrip) {
-		b.trip(now)
+		b.tripLocked(now)
 		return false
 	}
 	switch b.state {
@@ -131,15 +131,15 @@ func (b *Breaker) Record(success bool) {
 		b.score /= 2
 		return
 	}
-	b.decayScore(now)
+	b.decayScoreLocked(now)
 	b.score++
 	b.lastFailure = now
 	if b.state == BreakerHalfOpen {
-		b.trip(now)
+		b.tripLocked(now)
 		return
 	}
 	if b.state == BreakerClosed && b.score >= float64(b.cfg.Threshold) {
-		b.trip(now)
+		b.tripLocked(now)
 	}
 }
 
@@ -154,17 +154,17 @@ func (b *Breaker) State() BreakerState {
 	return b.state
 }
 
-// trip opens the breaker now. Callers hold b.mu.
-func (b *Breaker) trip(now time.Time) {
+// tripLocked opens the breaker now. Callers hold b.mu.
+func (b *Breaker) tripLocked(now time.Time) {
 	b.state = BreakerOpen
 	b.openedAt = now
 	b.probing = false
 }
 
-// decayScore halves the failure score once per Cooldown elapsed since
+// decayScoreLocked halves the failure score once per Cooldown elapsed since
 // the last failure, so old storms do not keep the breaker trigger-
 // happy forever. Callers hold b.mu.
-func (b *Breaker) decayScore(now time.Time) {
+func (b *Breaker) decayScoreLocked(now time.Time) {
 	if b.lastFailure.IsZero() {
 		return
 	}

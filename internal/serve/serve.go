@@ -117,6 +117,11 @@ const (
 )
 
 type task struct {
+	// The request context rides in the task because the worker must
+	// re-check the deadline at dequeue time; the task never outlives
+	// the Do call that created it, so this is a request-scoped
+	// carrier, not a stored context.
+	//kregret:allow ctxflow: request-scoped carrier, dies with the Do call that made it
 	ctx   context.Context
 	fn    func(context.Context)
 	state atomic.Int32
@@ -145,7 +150,11 @@ type Pool struct {
 	queuedGauge, inFlightGauge atomic.Int64
 }
 
-// NewPool starts the workers and returns a running pool.
+// NewPool starts the workers and returns a running pool. The worker
+// goroutines are bound to the pool's lifetime, not to any request:
+// they exit when Shutdown closes the queue, which is the context-free
+// lifecycle contract of a server-side pool.
+//kregret:allow ctxflow: worker lifetime is governed by Shutdown, not a request context
 func NewPool(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
 	p := &Pool{cfg: cfg, queue: make(chan *task, cfg.QueueDepth)}

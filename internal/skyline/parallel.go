@@ -24,6 +24,15 @@ const mergeParThreshold = 2048
 // default) and fanning the cross-filter merges out over the same
 // worker budget. Output is identical to Compute with DC.
 func ComputeParallel(pts []geom.Vector, workers int) ([]int, error) {
+	return ComputeParallelCtx(context.Background(), pts, workers)
+}
+
+// ComputeParallelCtx is ComputeParallel with the caller's context
+// plumbed into the cross-filter fan-outs. The recursion itself is
+// pure compute between fan-out points, so cancellation is observed at
+// merge granularity; the result is identical to the sequential
+// skyline whenever it returns nil error.
+func ComputeParallelCtx(ctx context.Context, pts []geom.Vector, workers int) ([]int, error) {
 	if err := validate(pts); err != nil {
 		return nil, err
 	}
@@ -36,7 +45,7 @@ func ComputeParallel(pts []geom.Vector, workers int) ([]int, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	out := dcParallel(pts, idx, depth, w)
+	out := dcParallel(ctx, pts, idx, depth, w)
 	sort.Ints(out)
 	return out, nil
 }
@@ -45,7 +54,7 @@ func ComputeParallel(pts []geom.Vector, workers int) ([]int, error) {
 // `depth` split levels. The two halves share the worker budget; the
 // merge at each level runs after both halves return and may use the
 // full budget of its subtree.
-func dcParallel(pts []geom.Vector, idx []int, depth, workers int) []int {
+func dcParallel(ctx context.Context, pts []geom.Vector, idx []int, depth, workers int) []int {
 	if depth <= 0 || len(idx) <= 2048 {
 		return dcRec(pts, idx)
 	}
@@ -69,23 +78,23 @@ func dcParallel(pts []geom.Vector, idx []int, depth, workers int) []int {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		skyLow = dcParallel(pts, low, depth-1, half)
+		skyLow = dcParallel(ctx, pts, low, depth-1, half)
 	}()
-	skyHigh = dcParallel(pts, high, depth-1, half)
+	skyHigh = dcParallel(ctx, pts, high, depth-1, half)
 	wg.Wait()
 	// Same two-way cross-filter as the sequential merge (see dcRec
 	// for why high-vs-low is required under first-dimension ties),
 	// with each direction's dominance scans fanned out: survivors are
 	// flagged per slot and collected in the sequential order.
 	merged := make([]int, 0, len(skyLow)+len(skyHigh))
-	merged = appendUndominated(pts, merged, skyHigh, skyLow, workers)
-	merged = appendUndominated(pts, merged, skyLow, skyHigh, workers)
+	merged = appendUndominated(ctx, pts, merged, skyHigh, skyLow, workers)
+	merged = appendUndominated(ctx, pts, merged, skyLow, skyHigh, workers)
 	return merged
 }
 
 // appendUndominated appends to dst the members of cand not dominated
 // by any member of against, preserving cand order.
-func appendUndominated(pts []geom.Vector, dst, cand, against []int, workers int) []int {
+func appendUndominated(ctx context.Context, pts []geom.Vector, dst, cand, against []int, workers int) []int {
 	if parallel.Resolve(workers) == 1 || len(cand) < mergeParThreshold {
 		for _, ci := range cand {
 			if !dominatedByAny(pts, pts[ci], against) {
@@ -100,13 +109,15 @@ func appendUndominated(pts []geom.Vector, dst, cand, against []int, workers int)
 			keep[i] = !dominatedByAny(pts, pts[cand[i]], against)
 		}
 	}
-	err := parallel.For(context.Background(), len(cand), workers, mergeParGrain, func(start, end int) error {
+	err := parallel.For(ctx, len(cand), workers, mergeParGrain, func(start, end int) error {
 		fill(start, end)
 		return nil
 	})
 	if err != nil {
-		// Unreachable — the context is never canceled and the body
-		// never fails — but correctness must not depend on that.
+		// Canceled mid-merge (or, for the Background-rooted compat
+		// path, unreachable): fall back to the sequential fill so the
+		// returned skyline stays correct — correctness must not depend
+		// on the fan-out completing.
 		fill(0, len(cand))
 	}
 	for i, ok := range keep {

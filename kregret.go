@@ -737,11 +737,17 @@ func (d *Dataset) validateWeights(weights Point) error {
 // utility functions drawn uniformly from the non-negative unit
 // sphere (a Monte-Carlo extension beyond the paper).
 func (d *Dataset) AverageRegret(selection []int, samples int, seed int64) (float64, error) {
+	return d.AverageRegretContext(context.Background(), selection, samples, seed)
+}
+
+// AverageRegretContext is AverageRegret bounded by a context (see
+// QueryContext for the cancellation granularity).
+func (d *Dataset) AverageRegretContext(ctx context.Context, selection []int, samples int, seed int64) (float64, error) {
 	x, err := d.evalIndex()
 	if err != nil {
 		return 0, err
 	}
-	r, err := x.AverageRegretSampledParCtx(context.Background(), selection, samples, seed, d.workers)
+	r, err := x.AverageRegretSampledParCtx(ctx, selection, samples, seed, d.workers)
 	if err != nil {
 		return 0, fmt.Errorf("kregret: %w", err)
 	}

@@ -79,6 +79,14 @@ type indexWire struct {
 
 const indexVersion = 2
 
+// wireManifest pins the gob wire layout of every struct this package
+// persists (checked by the wireguard analyzer): changing a field
+// means rewriting the entry on this line, which is where the version
+// bump and the decoder's compat path get reviewed together.
+var wireManifest = map[string]string{
+	"indexWire": "v2 Version int; Checksum uint64; N int; Dim int; Cand []int; Ext []int",
+}
+
 // checksum fingerprints the (normalized) dataset contents.
 func (d *Dataset) checksum() uint64 {
 	h := fnv.New64a()
