@@ -17,6 +17,8 @@
 //     fields only touched under the lock
 //   - wireguard:   gob wire structs registered in a wireManifest
 //     pinning version and field layout
+//   - sleepctx:    bare time.Sleep inside loops — retry/backoff and
+//     polling waits must select on ctx.Done()
 //
 // Usage:
 //

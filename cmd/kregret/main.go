@@ -11,12 +11,18 @@
 //	kregret -k 10 -in cars.csv -save-index i.snap   # persist the StoredList
 //	kregret -k 10 -in cars.csv -load-index i.snap   # serve from the snapshot
 //	kregret -k 10 -in cars.csv -concurrency 4       # serve through the engine
+//	kregret -k 10 -in cars.csv -concurrency 4 \
+//	    -retries 2 -watchdog 50ms                   # + self-healing
 //
 // The -save-index/-load-index/-concurrency flags route the query
 // through kregret.Engine: admission control, per-query budgets,
 // circuit breaking, and crash-safe snapshot files (a corrupt or
-// mismatched snapshot is rebuilt, not fatal). Engine counters are
-// reported on exit.
+// mismatched snapshot is rebuilt, not fatal). -retries grants each
+// query a budget of transparent re-attempts after transient numerical
+// failures (exponential backoff from -retry-backoff, never past the
+// deadline); -watchdog scans in-flight queries at the given interval
+// and quarantines the breaker key of any found running past its
+// deadline. Engine counters are reported on exit.
 //
 // Input: one tuple per CSV record, numeric fields only, optional
 // header row; every attribute is treated as larger-is-better (negate
@@ -39,14 +45,17 @@ import (
 
 // runConfig carries the parsed flags.
 type runConfig struct {
-	in          string
-	k           int
-	algo, cand  string
-	stats       bool
-	timeout     time.Duration
-	concurrency int
-	saveIndex   string
-	loadIndex   string
+	in           string
+	k            int
+	algo, cand   string
+	stats        bool
+	timeout      time.Duration
+	concurrency  int
+	saveIndex    string
+	loadIndex    string
+	retries      int
+	retryBackoff time.Duration
+	watchdog     time.Duration
 }
 
 func main() {
@@ -60,6 +69,9 @@ func main() {
 	flag.IntVar(&cfg.concurrency, "concurrency", 0, "serve through the engine with this many workers (0 = direct query)")
 	flag.StringVar(&cfg.saveIndex, "save-index", "", "build the StoredList index and save it to this file (atomic write)")
 	flag.StringVar(&cfg.loadIndex, "load-index", "", "serve from this index snapshot (rebuilt if missing or corrupt)")
+	flag.IntVar(&cfg.retries, "retries", 0, "engine mode: transparent retries per query after a transient numerical failure")
+	flag.DurationVar(&cfg.retryBackoff, "retry-backoff", time.Millisecond, "engine mode: base backoff between retries (doubles per attempt, jittered)")
+	flag.DurationVar(&cfg.watchdog, "watchdog", 0, "engine mode: scan interval for stuck in-flight queries (0 = no watchdog)")
 	flag.Parse()
 	if cfg.in == "" {
 		fmt.Fprintln(os.Stderr, "kregret: -in is required")
@@ -160,6 +172,12 @@ func runEngine(ctx context.Context, cfg runConfig, ds *kregret.Dataset, opts []k
 	if snapshot != "" {
 		engOpts = append(engOpts, kregret.WithSnapshot(snapshot))
 	}
+	if cfg.retries > 0 {
+		engOpts = append(engOpts, kregret.WithRetryBudget(cfg.retries, cfg.retryBackoff))
+	}
+	if cfg.watchdog > 0 {
+		engOpts = append(engOpts, kregret.WithWatchdog(cfg.watchdog))
+	}
 	eng, err := kregret.NewEngine(ds, engOpts...)
 	if err != nil {
 		return nil, err
@@ -183,6 +201,13 @@ func printEngineStats(s kregret.EngineStats) {
 	fmt.Printf("engine: admitted=%d completed=%d shed=%d (overload=%d, deadline=%d) canceled=%d degraded=%d breaker-short-circuits=%d\n",
 		s.Admitted, s.Completed, s.ShedOverload+s.ShedDeadline, s.ShedOverload, s.ShedDeadline,
 		s.Canceled, s.Degraded, s.BreakerShortCircuits)
+	if s.Retries > 0 || s.WatchdogStuck > 0 {
+		fmt.Printf("engine: retries=%d (rescued=%d) watchdog-stuck=%d\n",
+			s.Retries, s.RetrySuccesses, s.WatchdogStuck)
+	}
+	if s.DrainDuration > 0 {
+		fmt.Printf("engine: drain took %v\n", s.DrainDuration)
+	}
 	if s.SnapshotRebuilt {
 		fmt.Println("engine: index snapshot was missing, corrupt or mismatched and has been rebuilt")
 	}

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/serve"
 )
@@ -39,6 +42,9 @@ type engineOptions struct {
 	breakerCooldown     time.Duration
 	snapshotPath        string
 	queryOpts           []Option
+	retryBudget         int
+	retryBackoff        time.Duration
+	watchdogInterval    time.Duration
 }
 
 // WithWorkers bounds how many queries execute concurrently (default
@@ -101,6 +107,37 @@ func WithQueryDefaults(opts ...Option) EngineOption {
 	return func(o *engineOptions) { o.queryOpts = append(o.queryOpts, opts...) }
 }
 
+// WithRetryBudget gives every query up to `retries` transparent
+// re-attempts after a transient numerical failure (a *NumericalError
+// — cancellation and validation errors are never retried), with
+// capped exponential backoff plus jitter between attempts: the n-th
+// wait is backoff·2ⁿ, capped at 64·backoff, jittered into [d/2, d) so
+// a storm of failing workers does not re-converge in lockstep. The
+// wait honors the request context — a retry is never started when the
+// remaining deadline cannot outlast its backoff, so the budget adds
+// latency only to queries that still have time to be rescued.
+// Re-attempts and rescues are counted in Stats (Retries,
+// RetrySuccesses). Default: no retries.
+func WithRetryBudget(retries int, backoff time.Duration) EngineOption {
+	return func(o *engineOptions) {
+		o.retryBudget = retries
+		o.retryBackoff = backoff
+	}
+}
+
+// WithWatchdog starts a background scanner that every interval checks
+// the in-flight queries for work running past its deadline by more
+// than one interval — evidence that a solver is stuck in a loop the
+// cancellation checks cannot reach. Each stuck query is counted in
+// Stats().WatchdogStuck and its breaker key (algorithm/dim bucket) is
+// quarantined: the breaker trips open immediately, so follow-up
+// traffic for the pathological regime short-circuits to Cube instead
+// of piling onto stuck workers. The watchdog goroutine is joined by
+// Shutdown. Default: disabled.
+func WithWatchdog(interval time.Duration) EngineOption {
+	return func(o *engineOptions) { o.watchdogInterval = interval }
+}
+
 // EngineStats is a point-in-time snapshot of the serving counters.
 type EngineStats struct {
 	// Admission counters, from the worker pool: Admitted entered the
@@ -122,6 +159,18 @@ type EngineStats struct {
 	Degraded             uint64
 	BreakerShortCircuits uint64
 	Breakers             map[string]string
+	// Self-healing counters. ShedAtDequeue is the subset of
+	// ShedDeadline dropped after admission (see serve.Stats); Retries
+	// counts transparent re-attempts under WithRetryBudget and
+	// RetrySuccesses the queries rescued by one; WatchdogStuck counts
+	// in-flight queries the watchdog found running past their
+	// deadline (each quarantines its breaker key). DrainDuration is
+	// how long the shutdown drain took, zero until it has completed.
+	ShedAtDequeue  uint64
+	Retries        uint64
+	RetrySuccesses uint64
+	WatchdogStuck  uint64
+	DrainDuration  time.Duration
 	// SnapshotRebuilt reports that startup found the snapshot file
 	// missing, corrupt or mismatched and rebuilt the index.
 	SnapshotRebuilt bool
@@ -150,12 +199,38 @@ type Engine struct {
 
 	degraded        atomic.Uint64
 	breakerShorts   atomic.Uint64
+	retries         atomic.Uint64
+	retrySuccesses  atomic.Uint64
+	watchdogStuck   atomic.Uint64
 	snapshotRebuilt bool
+
+	// Watchdog lifecycle: nil channels when disabled. Shutdown closes
+	// watchdogStop (once) and joins watchdogDone.
+	watchdogStop chan struct{}
+	watchdogDone chan struct{}
+	watchdogOnce sync.Once
+
+	// muInflight guards the in-flight query registry the watchdog
+	// scans.
+	muInflight sync.Mutex
+	inflight   map[uint64]*inflightEntry
+	inflightID uint64
+}
+
+// inflightEntry is one running query as the watchdog sees it: the
+// breaker key it would quarantine and the deadline it must respect
+// (zero when the request is unbounded — such work is never "stuck").
+type inflightEntry struct {
+	key      string
+	deadline time.Time
+	flagged  bool
 }
 
 // NewEngine builds a serving engine over ds. With WithSnapshot it
 // also loads (or rebuilds) the StoredList index and serves default
 // queries from it in O(k).
+//
+//kregret:allow ctxflow: the watchdog goroutine is engine-lifetime, stopped and joined by Shutdown, not request-scoped
 func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
 	if ds == nil {
 		return nil, errors.New("kregret: engine needs a dataset")
@@ -181,6 +256,14 @@ func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
 	}
 	e.pool = serve.NewPool(serve.Config{Workers: o.workers, QueueDepth: o.queueDepth})
 	e.perQueryWorkers = derivePerQueryWorkers(o.parallelismBudget, e.pool.Stats().Workers)
+	if o.watchdogInterval > 0 {
+		e.muInflight.Lock()
+		e.inflight = map[uint64]*inflightEntry{}
+		e.muInflight.Unlock()
+		e.watchdogStop = make(chan struct{})
+		e.watchdogDone = make(chan struct{})
+		go e.watchdog(o.watchdogInterval)
+	}
 	return e, nil
 }
 
@@ -250,7 +333,10 @@ func (e *Engine) Query(ctx context.Context, k int, opts ...Option) (*Answer, err
 	return ans, err
 }
 
-// serve runs one admitted query on a worker goroutine.
+// serve runs one admitted query on a worker goroutine: the per-query
+// wall-clock budget, then serveOnce under the retry budget — a failed
+// attempt with a transient numerical cause is re-run after a capped,
+// jittered, context-aware backoff, and never past the deadline.
 func (e *Engine) serve(ctx context.Context, k int, opts []Option) (*Answer, error) {
 	if e.opts.maxQueryTime > 0 {
 		var cancel context.CancelFunc
@@ -260,6 +346,84 @@ func (e *Engine) serve(ctx context.Context, k int, opts []Option) (*Answer, erro
 	o := defaultOptions()
 	for _, f := range opts {
 		f(&o)
+	}
+
+	var (
+		ans *Answer
+		err error
+	)
+	for attempt := 0; ; attempt++ {
+		ans, err = e.serveOnce(ctx, k, &o, opts)
+		if err == nil && attempt > 0 {
+			e.retrySuccesses.Add(1)
+		}
+		if err == nil || attempt >= e.opts.retryBudget || !transientError(err) {
+			return ans, err
+		}
+		delay := retryDelay(e.opts.retryBackoff, attempt)
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= delay {
+			// The deadline ends before the backoff would: retrying
+			// could only burn a worker on doomed work.
+			return ans, err
+		}
+		e.retries.Add(1)
+		if !waitBackoff(ctx, delay) {
+			return ans, err
+		}
+	}
+}
+
+// transientError reports whether a failed attempt is worth retrying:
+// only numerical failures are — cancellation and validation errors
+// say the request (not the solver's luck) was the problem. Both forms
+// count: the typed *NumericalError (fallback chain exhausted, or a
+// recovered panic) and the bare core degeneracy error that
+// WithoutFallback queries surface directly.
+func transientError(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if core.IsNumerical(err) {
+		return true
+	}
+	var ne *NumericalError
+	return errors.As(err, &ne)
+}
+
+// retryDelay is the capped exponential backoff with jitter: the n-th
+// retry waits base·2ⁿ (capped at 64·base), jittered into [d/2, d) so
+// concurrent failing queries do not re-converge in lockstep.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if attempt > 6 {
+		attempt = 6
+	}
+	d := base << uint(attempt)
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// waitBackoff blocks for d or until ctx ends, whichever comes first,
+// and reports whether the full wait elapsed — the context-aware wait
+// shape the sleepctx analyzer enforces for every retry loop.
+func waitBackoff(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// serveOnce runs one attempt of an admitted query.
+func (e *Engine) serveOnce(ctx context.Context, k int, o *options, opts []Option) (*Answer, error) {
+	if e.watchdogDone != nil {
+		deadline, _ := ctx.Deadline() // zero when unbounded: never stuck
+		id := e.registerInflight(breakerKey(o.algorithm, e.ds.Dim()), deadline)
+		defer e.unregisterInflight(id)
 	}
 
 	// Default-config queries on a snapshot-backed engine are served
@@ -344,17 +508,85 @@ func (e *Engine) Stats() EngineStats {
 		Degraded:             e.degraded.Load(),
 		BreakerShortCircuits: e.breakerShorts.Load(),
 		Breakers:             breakers,
+		ShedAtDequeue:        ps.ShedAtDequeue,
+		Retries:              e.retries.Load(),
+		RetrySuccesses:       e.retrySuccesses.Load(),
+		WatchdogStuck:        e.watchdogStuck.Load(),
+		DrainDuration:        ps.DrainDuration,
 		SnapshotRebuilt:      e.snapshotRebuilt,
 	}
+}
+
+// watchdog periodically scans the in-flight registry for stuck work.
+// It runs for the engine's lifetime and is joined by Shutdown.
+func (e *Engine) watchdog(interval time.Duration) {
+	defer close(e.watchdogDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.watchdogStop:
+			return
+		case now := <-t.C:
+			e.scanInflight(now, interval)
+		}
+	}
+}
+
+// scanInflight flags every in-flight query running more than grace
+// past its deadline — once per query — and quarantines its breaker
+// key so follow-up traffic for the same regime short-circuits instead
+// of piling onto a stuck solver.
+func (e *Engine) scanInflight(now time.Time, grace time.Duration) {
+	var stuck []string
+	e.muInflight.Lock()
+	for _, entry := range e.inflight {
+		if entry.flagged || entry.deadline.IsZero() || now.Sub(entry.deadline) <= grace {
+			continue
+		}
+		entry.flagged = true
+		stuck = append(stuck, entry.key)
+	}
+	e.muInflight.Unlock()
+	for _, key := range stuck {
+		e.watchdogStuck.Add(1)
+		e.breakers.For(key).Trip()
+	}
+}
+
+// registerInflight records a starting attempt for the watchdog.
+func (e *Engine) registerInflight(key string, deadline time.Time) uint64 {
+	e.muInflight.Lock()
+	defer e.muInflight.Unlock()
+	e.inflightID++
+	id := e.inflightID
+	e.inflight[id] = &inflightEntry{key: key, deadline: deadline}
+	return id
+}
+
+// unregisterInflight removes a finished attempt from the registry.
+func (e *Engine) unregisterInflight(id uint64) {
+	e.muInflight.Lock()
+	defer e.muInflight.Unlock()
+	delete(e.inflight, id)
 }
 
 // Shutdown stops admissions (new queries return ErrShuttingDown),
 // drains the queued and in-flight queries, and returns once the
 // engine is idle — or ctx.Err() if ctx ends first, in which case the
 // drain continues in the background and Shutdown may be called again.
+// Once the drain completes the watchdog goroutine is stopped and
+// joined, so a fully shut-down engine leaves no goroutine behind.
 // Safe to call multiple times; a post-shutdown Query never blocks.
 func (e *Engine) Shutdown(ctx context.Context) error {
-	return e.pool.Shutdown(ctx)
+	if err := e.pool.Shutdown(ctx); err != nil {
+		return err
+	}
+	if e.watchdogDone != nil {
+		e.watchdogOnce.Do(func() { close(e.watchdogStop) })
+		<-e.watchdogDone
+	}
+	return nil
 }
 
 // Index returns the snapshot-backed index, or nil when the engine was

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/serve"
 )
 
 func testEngine(t *testing.T, opts ...EngineOption) (*Engine, *Dataset) {
@@ -274,5 +277,74 @@ func TestEngineStatsShape(t *testing.T) {
 	}
 	if state := s.Breakers[breakerKey(AlgoGeoGreedy, 3)]; state != "closed" {
 		t.Fatalf("breaker state %q, want closed (%v)", state, s.Breakers)
+	}
+	if s.Retries != 0 || s.RetrySuccesses != 0 || s.WatchdogStuck != 0 || s.ShedAtDequeue != 0 {
+		t.Fatalf("self-healing counters nonzero after one healthy query: %+v", s)
+	}
+}
+
+// TestEngineShutdownIdempotent pins the double-shutdown contract: the
+// second call returns cleanly with no panic, the counters are stable
+// across it, and a post-shutdown Query returns ErrShuttingDown
+// wrapped in a *serve.OverloadError carrying the pool pressure.
+func TestEngineShutdownIdempotent(t *testing.T) {
+	eng, _ := testEngine(t, WithWorkers(2), WithWatchdog(2*time.Millisecond))
+	if _, err := eng.Query(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Shutdown(context.Background()); err != nil {
+		t.Fatalf("first Shutdown: %v", err)
+	}
+	s1 := eng.Stats()
+	if err := eng.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	s2 := eng.Stats()
+	// Counter stability across the idempotent call (DrainDuration is
+	// recorded asynchronously and may land between the snapshots, so
+	// it is deliberately not compared).
+	if s1.Admitted != s2.Admitted || s1.Completed != s2.Completed ||
+		s1.Canceled != s2.Canceled || s1.ShedOverload != s2.ShedOverload ||
+		s1.ShedDeadline != s2.ShedDeadline || s1.RejectedShutdown != s2.RejectedShutdown {
+		t.Fatalf("counters moved across an idempotent Shutdown:\n%+v\n%+v", s1, s2)
+	}
+
+	_, err := eng.Query(context.Background(), 3)
+	if !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown Query: want ErrShuttingDown, got %v", err)
+	}
+	var oe *serve.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("post-shutdown Query error is not an *serve.OverloadError: %v", err)
+	}
+	if !errors.Is(oe.Sentinel, serve.ErrShuttingDown) || oe.Workers != 2 {
+		t.Fatalf("OverloadError carries wrong context: %+v", oe)
+	}
+	if s3 := eng.Stats(); s3.RejectedShutdown != s2.RejectedShutdown+1 {
+		t.Fatalf("rejection not counted: %+v", s3)
+	}
+}
+
+// TestEngineWatchdogShutdownNoLeak proves the watchdog goroutine is
+// joined by Shutdown: after a full drain the process goroutine count
+// returns to its pre-engine baseline.
+func TestEngineWatchdogShutdownNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng, _ := testEngine(t, WithWorkers(2), WithWatchdog(time.Millisecond))
+	if _, err := eng.Query(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", base, runtime.NumGoroutine())
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

@@ -30,6 +30,12 @@
 //   - wireguard:   gob wire structs are registered in a wireManifest
 //     pinning their version and field layout
 //
+// PR 7 added the self-healing wait discipline:
+//
+//   - sleepctx:    no bare time.Sleep inside loops — retry/backoff
+//     and polling waits must run through a time.Timer selected
+//     against ctx.Done() so dead requests release their goroutine
+//
 // Only go/ast, go/parser, go/types, go/token and go/build are used;
 // there is no dependency on golang.org/x/tools.
 package analysis
@@ -72,7 +78,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, SliceAlias, NaNInf, ErrDrop, CtxFlow, PoolScope, AtomicGuard, WireGuard}
+	return []*Analyzer{FloatCmp, SliceAlias, NaNInf, ErrDrop, CtxFlow, PoolScope, AtomicGuard, WireGuard, SleepCtx}
 }
 
 // ByName resolves a comma-separated analyzer list ("floatcmp,errdrop").

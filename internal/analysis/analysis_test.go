@@ -151,6 +151,10 @@ func TestWireGuardFixture(t *testing.T) {
 	runFixture(t, "wireguard", "wireguardfix", "wireguard")
 }
 
+func TestSleepCtxFixture(t *testing.T) {
+	runFixture(t, "sleepctx", "sleepctxfix", "sleepctx")
+}
+
 // TestAllowFixture covers the //kregret:allow grammar: comma lists,
 // trailing vs line-above placement, stacked block directives, and the
 // malformed forms reported under the "allow" pseudo-analyzer.

@@ -1,0 +1,78 @@
+// Package sleepctx seeds violations of the cancellable-wait
+// discipline (checked by the sleepctx analyzer): bare time.Sleep
+// calls inside for and range loops, including one hidden in a func
+// literal spawned from a loop body. The clean counterexamples pin
+// down the sanctioned shapes: the timer+select ctx-aware backoff, a
+// one-shot Sleep outside any loop, and an allowlisted deliberate
+// stall.
+package sleepctx
+
+import (
+	"context"
+	"time"
+)
+
+// Poll busy-waits with an uninterruptible sleep: the classic shape
+// the analyzer exists to catch.
+func Poll(ready func() bool) {
+	for !ready() {
+		time.Sleep(10 * time.Millisecond) // want: sleepctx
+	}
+}
+
+// DrainAll sleeps between items of a range loop.
+func DrainAll(keys []string, drain func(string)) {
+	for _, k := range keys {
+		drain(k)
+		time.Sleep(time.Millisecond) // want: sleepctx
+	}
+}
+
+// RetryAsync hides the sleep inside a goroutine literal, but the
+// literal is spawned per iteration — the wait is still on the loop's
+// path and still uninterruptible.
+func RetryAsync(ctx context.Context, attempts int, try func()) {
+	for i := 0; i < attempts; i++ {
+		go func() {
+			time.Sleep(time.Second) // want: sleepctx
+			if ctx.Err() == nil {
+				try()
+			}
+		}()
+	}
+}
+
+// RetryCtx is the sanctioned backoff: the wait selects on ctx.Done()
+// so a dead request releases its goroutine immediately. Stays clean.
+func RetryCtx(ctx context.Context, attempts int, try func() error) error {
+	for i := 0; i < attempts; i++ {
+		if err := try(); err == nil {
+			return nil
+		}
+		t := time.NewTimer(time.Duration(i+1) * time.Millisecond)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		t.Stop()
+	}
+	return context.DeadlineExceeded
+}
+
+// WarmUp sleeps once, outside any loop — a startup delay, not a
+// polling loop. Stays clean.
+func WarmUp() {
+	time.Sleep(50 * time.Millisecond)
+}
+
+// Throttle is a reviewed exception: a deliberate fixed-rate pacer
+// that must not be cut short. The directive keeps it clean.
+func Throttle(ticks int, tick func()) {
+	for i := 0; i < ticks; i++ {
+		tick()
+		//kregret:allow sleepctx: fixed-rate pacer, the stall is the feature
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,47 @@
+//go:build kregretfault
+
+package chaos
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The soak is seed-swept by default and replayable by flag:
+//
+//	make test-chaos                                     # 20 seeds
+//	go test -race -tags kregretfault ./internal/chaos \
+//	    -chaos.seed 1337 -chaos.runs 1                  # replay one
+var (
+	chaosSeed     = flag.Int64("chaos.seed", 1, "first soak seed; each run uses seed, seed+1, ...")
+	chaosRuns     = flag.Int("chaos.runs", 20, "number of consecutive seeds to soak")
+	chaosDuration = flag.Duration("chaos.duration", 250*time.Millisecond, "wall-clock floor per soak run (every client always finishes one full script pass)")
+)
+
+// TestChaosSoak runs the full seeded storm once per seed. Every seed
+// is its own subtest so a violation names the exact replay command.
+func TestChaosSoak(t *testing.T) {
+	for i := 0; i < *chaosRuns; i++ {
+		seed := *chaosSeed + int64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep, err := Run(context.Background(), Config{
+				Seed:     seed,
+				Duration: *chaosDuration,
+				Dir:      t.TempDir(),
+			})
+			if err != nil {
+				t.Fatalf("soak violated invariants (replay: go test -race -tags kregretfault ./internal/chaos -chaos.seed %d -chaos.runs 1):\n%v",
+					seed, err)
+			}
+			if rep.Issued == 0 || rep.OK == 0 {
+				t.Fatalf("soak issued %d requests with %d clean answers — the storm starved the load", rep.Issued, rep.OK)
+			}
+			t.Logf("seed %d: issued=%d ok=%d degraded=%d shed=%d canceled=%d numerical=%d retries=%d rescued=%d watchdog=%d drain=%v",
+				seed, rep.Issued, rep.OK, rep.Degraded, rep.Shed, rep.Canceled, rep.Numerical,
+				rep.Stats.Retries, rep.Stats.RetrySuccesses, rep.Stats.WatchdogStuck, rep.Stats.DrainDuration)
+		})
+	}
+}

@@ -5,6 +5,7 @@ package fault
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -20,13 +21,17 @@ var ErrInjected = errors.New("fault: injected failure")
 // armed tracks, per site, how many future executions misbehave
 // (negative = unlimited), how many are skipped before the first
 // misbehaving one (ArmAfter), and, for Sleep sites, how long each
-// stall lasts. Guarded by mu: tests arm sites from the test goroutine
-// while solvers fire them from query goroutines.
+// stall lasts. A probabilistically armed site (ArmRand) instead
+// carries its own seeded rng and per-execution trigger probability.
+// Guarded by mu: tests arm sites from the test goroutine while
+// solvers fire them from query goroutines.
 type armed struct {
 	shots   int
 	skip    int
 	observe bool
 	delay   time.Duration
+	prob    float64
+	rng     *rand.Rand // non-nil only for ArmRand sites
 }
 
 var (
@@ -43,12 +48,34 @@ func Arm(site string, shots int) {
 	sites[site] = &armed{shots: shots}
 }
 
-// ArmSleep makes every execution of the site stall for d until the
-// armed shot budget is spent (shots < 0 = until Reset).
+// ArmSleep makes the next `shots` executions of the site stall for d
+// each; once the shot budget is spent the site runs at full speed
+// again (shots < 0 stalls every execution until Reset).
 func ArmSleep(site string, shots int, d time.Duration) {
 	mu.Lock()
 	defer mu.Unlock()
 	sites[site] = &armed{shots: shots, delay: d}
+}
+
+// ArmRand arms the site probabilistically: every execution misbehaves
+// independently with probability p, drawn from a private rng seeded
+// with seed, so a randomized chaos schedule replays bit-identically
+// from its logged seed. p <= 0 never fires, p >= 1 always fires. The
+// draw happens under the package mutex, so concurrent executions of
+// the site consume the rng stream in admission order and the mode is
+// safe under -race.
+func ArmRand(site string, seed int64, p float64) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[site] = &armed{shots: -1, prob: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ArmRandSleep is ArmRand for stall sites: each probabilistic trigger
+// stalls the execution for d instead of misbehaving.
+func ArmRandSleep(site string, seed int64, p float64, d time.Duration) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[site] = &armed{shots: -1, prob: p, rng: rand.New(rand.NewSource(seed)), delay: d}
 }
 
 // ArmAfter lets the first `skip` executions of the site through
@@ -102,6 +129,13 @@ func fire(site string) (bool, time.Duration) {
 	if a.skip > 0 {
 		a.skip--
 		return false, 0
+	}
+	if a.rng != nil {
+		if a.rng.Float64() >= a.prob {
+			return false, 0
+		}
+		fired[site]++
+		return true, a.delay
 	}
 	if a.shots == 0 {
 		return false, 0

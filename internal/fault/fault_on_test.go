@@ -4,6 +4,7 @@ package fault
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -65,5 +66,109 @@ func TestArmSleepStalls(t *testing.T) {
 	Sleep(SiteLPSlowPivot)
 	if d := time.Since(start); d > 10*time.Millisecond {
 		t.Fatalf("spent Sleep still stalls: %v", d)
+	}
+}
+
+// TestArmSleepHonorsShotBudget pins the documented contract: only the
+// next `shots` executions stall; the (shots+1)-th runs at full speed.
+func TestArmSleepHonorsShotBudget(t *testing.T) {
+	defer Reset()
+	const shots = 2
+	ArmSleep(SiteLPSlowPivot, shots, 20*time.Millisecond)
+	for i := 0; i < shots; i++ {
+		start := time.Now()
+		Sleep(SiteLPSlowPivot)
+		if d := time.Since(start); d < 15*time.Millisecond {
+			t.Fatalf("armed execution %d returned after %v", i+1, d)
+		}
+	}
+	start := time.Now()
+	Sleep(SiteLPSlowPivot)
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("(shots+1)-th execution still stalls: %v", d)
+	}
+	if got := Fired(SiteLPSlowPivot); got != shots {
+		t.Fatalf("Fired = %d, want %d", got, shots)
+	}
+}
+
+// TestArmRandDeterministicPerSeed proves the probabilistic arming
+// mode replays: the same (seed, p) produces the same trigger pattern,
+// a different seed a different one, and the p extremes degenerate to
+// never/always.
+func TestArmRandDeterministicPerSeed(t *testing.T) {
+	defer Reset()
+	draw := func(seed int64, p float64, n int) []bool {
+		Reset()
+		ArmRand(SiteDDAddHalfspace, seed, p)
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = Active(SiteDDAddHalfspace)
+		}
+		return out
+	}
+	same := func(a, b []bool) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	a, b := draw(42, 0.3, 200), draw(42, 0.3, 200)
+	if !same(a, b) {
+		t.Fatal("same seed produced different trigger patterns")
+	}
+	if c := draw(43, 0.3, 200); same(a, c) {
+		t.Fatal("different seeds produced identical trigger patterns")
+	}
+	for _, on := range draw(1, 0, 100) {
+		if on {
+			t.Fatal("p=0 site fired")
+		}
+	}
+	for _, on := range draw(1, 1, 100) {
+		if !on {
+			t.Fatal("p=1 site skipped an execution")
+		}
+	}
+	if got := Fired(SiteDDAddHalfspace); got != 100 {
+		t.Fatalf("Fired = %d, want 100 after the p=1 sweep", got)
+	}
+}
+
+// TestArmRandConcurrent hammers a probabilistic site from many
+// goroutines under -race: the rng draw is serialized by the package
+// mutex and the fired counter stays consistent with what the callers
+// observed.
+func TestArmRandConcurrent(t *testing.T) {
+	defer Reset()
+	ArmRand(SiteLPIterationCap, 7, 0.5)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		hits int
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < 500; i++ {
+				if Active(SiteLPIterationCap) {
+					local++
+				}
+			}
+			mu.Lock()
+			hits += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if got := Fired(SiteLPIterationCap); got != hits {
+		t.Fatalf("Fired = %d, callers observed %d triggers", got, hits)
+	}
+	if hits == 0 || hits == 8*500 {
+		t.Fatalf("p=0.5 site fired %d of %d executions", hits, 8*500)
 	}
 }

@@ -75,7 +75,8 @@ type Breaker struct {
 	score       float64 // decayed failure count
 	lastFailure time.Time
 	openedAt    time.Time
-	probing     bool // a half-open probe is in flight
+	probing     bool      // a half-open probe is in flight
+	probeStart  time.Time // when the in-flight probe was admitted
 }
 
 // NewBreaker returns a closed breaker.
@@ -101,12 +102,20 @@ func (b *Breaker) Allow() bool {
 		if now.Sub(b.openedAt) >= b.cfg.Cooldown {
 			b.state = BreakerHalfOpen
 			b.probing = true
+			b.probeStart = now
 			return true
 		}
 		return false
 	case BreakerHalfOpen:
-		if !b.probing {
+		// The probe token is a lease, not a grant: a probe whose
+		// outcome is never recorded (its caller was canceled before
+		// the solver finished, so the outcome says nothing about
+		// numerical health) forfeits the token after one cooldown.
+		// Without the lease a single abandoned probe would pin the
+		// breaker half-open forever.
+		if !b.probing || now.Sub(b.probeStart) >= b.cfg.Cooldown {
 			b.probing = true
+			b.probeStart = now
 			return true
 		}
 		return false
@@ -141,6 +150,18 @@ func (b *Breaker) Record(success bool) {
 	if b.state == BreakerClosed && b.score >= float64(b.cfg.Threshold) {
 		b.tripLocked(now)
 	}
+}
+
+// Trip forces the breaker open now, as if a failure storm had just
+// crossed the threshold: requests short-circuit for a full cooldown
+// before half-open probing resumes. The engine's stuck-query watchdog
+// uses it to quarantine a key whose in-flight work has run past its
+// deadline — evidence of pathology that must not wait for Record
+// calls that may never come.
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tripLocked(b.cfg.Now())
 }
 
 // State returns the current state (resolving an elapsed open cooldown

@@ -72,6 +72,32 @@ func TestBreakerHalfOpenProbeCloses(t *testing.T) {
 	}
 }
 
+// TestBreakerHalfOpenProbeLeaseExpires pins the probe-lease rule: a
+// probe whose outcome is never recorded (its caller was canceled
+// mid-solve) must not pin the breaker half-open forever — after one
+// cooldown the token is forfeited and the next caller may probe.
+func TestBreakerHalfOpenProbeLeaseExpires(t *testing.T) {
+	b, clk := testBreaker(2, time.Second)
+	b.Record(false)
+	b.Record(false)
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	// The probe is abandoned: no Record ever arrives.
+	if b.Allow() {
+		t.Fatal("second probe allowed while the lease is live")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("expired probe lease not reissued")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after reissued probe success %v, want closed", b.State())
+	}
+}
+
 func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	b, clk := testBreaker(2, time.Second)
 	b.Record(false)

@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
 )
@@ -93,6 +94,12 @@ type Stats struct {
 	// ShedDeadline counts requests dropped because their deadline had
 	// expired — at admission or at dequeue, before the job ran.
 	ShedDeadline uint64
+	// ShedAtDequeue is the subset of ShedDeadline dropped by a worker
+	// at dequeue time, i.e. after the request was Admitted. It makes
+	// the conservation identity exact at any drain point:
+	//
+	//	Admitted = Completed + Canceled + ShedAtDequeue + Queued
+	ShedAtDequeue uint64
 	// Canceled counts admitted requests abandoned by their caller
 	// (context done) while still waiting in the queue.
 	Canceled uint64
@@ -103,6 +110,10 @@ type Stats struct {
 	Queued, InFlight int
 	Workers          int
 	QueueDepth       int
+	// DrainDuration is how long the shutdown drain took — from the
+	// first Shutdown call to the last worker exiting. Zero until the
+	// drain has completed.
+	DrainDuration time.Duration
 }
 
 // task states: a task is claimed exactly once, by CAS, by whichever
@@ -146,14 +157,17 @@ type Pool struct {
 
 	admitted, completed        atomic.Uint64
 	shedOverload, shedDeadline atomic.Uint64
+	shedAtDequeue              atomic.Uint64
 	canceled, rejectedShutdown atomic.Uint64
 	queuedGauge, inFlightGauge atomic.Int64
+	drainNanos                 atomic.Int64
 }
 
 // NewPool starts the workers and returns a running pool. The worker
 // goroutines are bound to the pool's lifetime, not to any request:
 // they exit when Shutdown closes the queue, which is the context-free
 // lifecycle contract of a server-side pool.
+//
 //kregret:allow ctxflow: worker lifetime is governed by Shutdown, not a request context
 func NewPool(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
@@ -227,6 +241,7 @@ func (p *Pool) worker() {
 			// Deadline died in the queue: shed before the job runs.
 			if t.state.CompareAndSwap(taskPending, taskShed) {
 				p.shedDeadline.Add(1)
+				p.shedAtDequeue.Add(1)
 				t.result = p.overload(ErrShed)
 				close(t.done)
 			}
@@ -264,6 +279,14 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 	if !p.shutdown {
 		p.shutdown = true
 		close(p.queue)
+		// Record the drain metric exactly once, from the moment
+		// admissions stopped to the moment the last worker exits —
+		// even when this Shutdown call gives up on its context first.
+		start := time.Now()
+		go func() {
+			p.wg.Wait()
+			p.drainNanos.Store(time.Since(start).Nanoseconds())
+		}()
 	}
 	p.mu.Unlock()
 
@@ -288,11 +311,13 @@ func (p *Pool) Stats() Stats {
 		Completed:        p.completed.Load(),
 		ShedOverload:     p.shedOverload.Load(),
 		ShedDeadline:     p.shedDeadline.Load(),
+		ShedAtDequeue:    p.shedAtDequeue.Load(),
 		Canceled:         p.canceled.Load(),
 		RejectedShutdown: p.rejectedShutdown.Load(),
 		Queued:           int(p.queuedGauge.Load()),
 		InFlight:         int(p.inFlightGauge.Load()),
 		Workers:          p.cfg.Workers,
 		QueueDepth:       p.cfg.QueueDepth,
+		DrainDuration:    time.Duration(p.drainNanos.Load()),
 	}
 }
