@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet kregret-vet test test-race test-debug test-fault test-serve test-chaos fuzz-smoke bench bench-diff bench-smoke check
+.PHONY: build vet kregret-vet test test-race test-debug test-fault test-serve test-chaos test-crash fuzz-smoke bench bench-diff bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,21 @@ test-serve:
 test-chaos:
 	$(GO) test -race -tags kregretfault -count=1 ./internal/chaos -chaos.runs 20
 
+# Durability proof: the crash-point-exact recovery matrix. First the
+# torn-tail sweep — a scripted mutation history whose WAL is truncated
+# at EVERY byte offset, each cut recovering bit-for-bit to an
+# acknowledged state (plain and across a mid-history compaction) —
+# then the fault-site sweep, arming each durability injection point
+# (wal.append, wal.sync, wal.rotate, persist.sync) at every execution
+# it has in the script, plus the 20-seed chaos soak whose storm now
+# includes the durable-mutation client class and the post-drain
+# recovery invariant.
+test-crash:
+	$(GO) test -race -count=1 -run 'CrashPointSweep' .
+	$(GO) test -race -tags kregretfault -count=1 \
+		-run 'CrashFaultSiteSweep|InjectedFsync|EngineFoldSurvives' .
+	$(GO) test -race -tags kregretfault -count=1 ./internal/chaos -chaos.runs 20
+
 # Short native-fuzzing pass over the public constructors, the query
 # path, the snapshot decoder and the flat-matrix kernels: degenerate
 # datasets must produce an error or a valid Answer, corrupt snapshots
@@ -64,6 +79,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzQuery -fuzztime=10s .
 	$(GO) test -run=^$$ -fuzz=FuzzLoadIndex -fuzztime=10s .
 	$(GO) test -run=^$$ -fuzz=FuzzKernels -fuzztime=10s ./internal/mat
+	$(GO) test -run=^$$ -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal
 
 # Performance baseline: runs BenchmarkPaper at parallelism 1 and 4,
 # three passes each (keeping the per-benchmark noise floor), and
@@ -91,4 +107,4 @@ bench-smoke:
 	$(GO) test -count=1 -run 'ParallelMatch|ParallelExhaustion|EngineParallelism' \
 		./internal/core .
 
-check: build vet kregret-vet test-race test-debug test-fault test-serve test-chaos bench-smoke
+check: build vet kregret-vet test-race test-debug test-fault test-serve test-chaos test-crash bench-smoke

@@ -13,6 +13,19 @@
 //	kregret -k 10 -in cars.csv -concurrency 4       # serve through the engine
 //	kregret -k 10 -in cars.csv -concurrency 4 \
 //	    -retries 2 -watchdog 50ms                   # + self-healing
+//	kregret -k 10 -in cars.csv -wal cars.wal        # durable mutable dataset
+//	kregret -k 10 -in cars.csv -wal cars.wal \
+//	    -insert 0.62,0.48 -compact                  # durable insert, then compact
+//
+// The -wal flag makes the dataset durably mutable: the first run
+// builds it from the CSV, writes a base snapshot next to the log
+// (override with -wal-snap), and appends every -insert/-delete to the
+// write-ahead log before applying it. Later runs find the snapshot
+// and recover the full mutation history from the (snapshot, log) pair
+// — the CSV is then only a fallback for a missing pair, never
+// reloaded over live history. A run killed at any byte of a log write
+// recovers exactly the acknowledged mutations. -compact folds the log
+// into a fresh snapshot when it grows.
 //
 // The -save-index/-load-index/-concurrency flags route the query
 // through kregret.Engine: admission control, per-query budgets,
@@ -36,6 +49,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -56,6 +71,11 @@ type runConfig struct {
 	retries      int
 	retryBackoff time.Duration
 	watchdog     time.Duration
+	wal          string
+	walSnap      string
+	insert       string
+	del          int
+	compact      bool
 }
 
 func main() {
@@ -72,6 +92,11 @@ func main() {
 	flag.IntVar(&cfg.retries, "retries", 0, "engine mode: transparent retries per query after a transient numerical failure")
 	flag.DurationVar(&cfg.retryBackoff, "retry-backoff", time.Millisecond, "engine mode: base backoff between retries (doubles per attempt, jittered)")
 	flag.DurationVar(&cfg.watchdog, "watchdog", 0, "engine mode: scan interval for stuck in-flight queries (0 = no watchdog)")
+	flag.StringVar(&cfg.wal, "wal", "", "write-ahead log path: makes the dataset durably mutable (recovered from <wal>+snapshot when they exist)")
+	flag.StringVar(&cfg.walSnap, "wal-snap", "", "base snapshot path for -wal (default <wal>.snap)")
+	flag.StringVar(&cfg.insert, "insert", "", "durably insert this point (comma-separated normalized coordinates; requires -wal)")
+	flag.IntVar(&cfg.del, "delete", -1, "durably delete the tuple at this index (requires -wal)")
+	flag.BoolVar(&cfg.compact, "compact", false, "fold the WAL into a fresh base snapshot after applying mutations (requires -wal)")
 	flag.Parse()
 	if cfg.in == "" {
 		fmt.Fprintln(os.Stderr, "kregret: -in is required")
@@ -85,16 +110,16 @@ func main() {
 }
 
 func run(cfg runConfig) error {
-	raw, err := dataset.ReadCSVFile(cfg.in)
+	ds, err := openDataset(cfg)
 	if err != nil {
 		return err
 	}
-	points := make([]kregret.Point, len(raw))
-	for i, p := range raw {
-		points[i] = kregret.Point(p)
-	}
-	ds, err := kregret.NewDataset(points)
-	if err != nil {
+	defer func() {
+		if cerr := ds.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "kregret: closing WAL: %v\n", cerr)
+		}
+	}()
+	if err := applyMutations(cfg, ds); err != nil {
 		return err
 	}
 
@@ -156,6 +181,98 @@ func run(cfg runConfig) error {
 		return err
 	}
 	return printAnswer(ds, ans)
+}
+
+// openDataset builds the dataset the run serves from. Without -wal
+// that is a plain in-memory load of the CSV. With -wal, an existing
+// (snapshot, log) pair wins: it carries durable history the CSV knows
+// nothing about, so the CSV is only consulted when the pair does not
+// exist yet (the first run, which also writes the base snapshot).
+func openDataset(cfg runConfig) (*kregret.Dataset, error) {
+	if cfg.wal == "" {
+		if cfg.insert != "" || cfg.del >= 0 || cfg.compact {
+			return nil, fmt.Errorf("-insert/-delete/-compact require -wal")
+		}
+		return loadCSVDataset(cfg)
+	}
+	walSnap := cfg.walSnap
+	if walSnap == "" {
+		walSnap = cfg.wal + ".snap"
+	}
+	if _, err := os.Stat(walSnap); err == nil {
+		ds, err := kregret.Recover(walSnap, cfg.wal)
+		if err != nil {
+			return nil, fmt.Errorf("recovering durable dataset: %w", err)
+		}
+		fmt.Printf("wal: recovered %d tuples at seq %d from %s\n", ds.Len(), ds.Seq(), walSnap)
+		return ds, nil
+	}
+	ds, err := loadCSVDataset(cfg, kregret.WithWAL(cfg.wal, walSnap))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("wal: new durable dataset, base snapshot %s\n", walSnap)
+	return ds, nil
+}
+
+func loadCSVDataset(cfg runConfig, opts ...kregret.Option) (*kregret.Dataset, error) {
+	raw, err := dataset.ReadCSVFile(cfg.in)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]kregret.Point, len(raw))
+	for i, p := range raw {
+		points[i] = kregret.Point(p)
+	}
+	return kregret.NewDataset(points, opts...)
+}
+
+// applyMutations performs the -insert/-delete/-compact flags in that
+// order, each one durably logged before it is acknowledged.
+func applyMutations(cfg runConfig, ds *kregret.Dataset) error {
+	if cfg.insert == "" && cfg.del < 0 && !cfg.compact {
+		return nil
+	}
+	if cfg.insert != "" {
+		pt, err := parsePoint(cfg.insert)
+		if err != nil {
+			return fmt.Errorf("-insert: %w", err)
+		}
+		idx, err := ds.Insert(pt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wal: inserted row %d at seq %d\n", idx, ds.Seq())
+	}
+	if cfg.del >= 0 {
+		if err := ds.Delete(cfg.del); err != nil {
+			return err
+		}
+		fmt.Printf("wal: deleted row %d at seq %d\n", cfg.del, ds.Seq())
+	}
+	if cfg.compact {
+		if err := ds.Compact(); err != nil {
+			return err
+		}
+		fmt.Printf("wal: compacted log into base snapshot at seq %d\n", ds.Seq())
+	}
+	return nil
+}
+
+// parsePoint parses "-insert 0.62,0.48" into a Point. Coordinates are
+// taken verbatim in the dataset's normalized space, as Insert
+// documents.
+func parsePoint(s string) (kregret.Point, error) {
+	fields := strings.Split(s, ",")
+	pt := make(kregret.Point, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("coordinate %d: %w", i, err)
+		}
+		pt[i] = v
+	}
+	return pt, nil
 }
 
 // runEngine answers the query through the serving engine, handling

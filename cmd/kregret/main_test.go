@@ -27,7 +27,8 @@ func writeTestCSV(t *testing.T) string {
 }
 
 func queryCfg(in string) runConfig {
-	return runConfig{in: in, k: 5, algo: "geogreedy", cand: "happy"}
+	// del mirrors the -delete flag default: negative = no delete.
+	return runConfig{in: in, k: 5, algo: "geogreedy", cand: "happy", del: -1}
 }
 
 // capture runs f with stdout redirected and returns what it printed.
@@ -147,6 +148,67 @@ func TestRunSaveAndLoadIndex(t *testing.T) {
 	}
 	if !strings.Contains(out, "has been rebuilt") {
 		t.Fatalf("corrupt snapshot not reported as rebuilt: %q", out)
+	}
+}
+
+// -wal makes the dataset durably mutable: the first run builds the
+// (snapshot, log) pair from the CSV, later runs recover from it and
+// replay -insert/-delete history instead of reloading the CSV.
+func TestRunWAL(t *testing.T) {
+	path := writeTestCSV(t)
+	wal := filepath.Join(t.TempDir(), "pts.wal")
+
+	cfg := queryCfg(path)
+	cfg.wal = wal
+	out := capture(t, func() error { return run(cfg) })
+	if !strings.Contains(out, "wal: new durable dataset") {
+		t.Fatalf("first -wal run should build the pair: %q", out)
+	}
+
+	cfg = queryCfg(path)
+	cfg.wal = wal
+	cfg.insert = "0.5, 0.5, 0.5"
+	cfg.compact = true
+	out = capture(t, func() error { return run(cfg) })
+	if !strings.Contains(out, "wal: recovered 300 tuples at seq 0") {
+		t.Fatalf("second -wal run should recover the base: %q", out)
+	}
+	if !strings.Contains(out, "wal: inserted row 300 at seq 1") {
+		t.Fatalf("-insert not applied: %q", out)
+	}
+	if !strings.Contains(out, "wal: compacted log into base snapshot at seq 1") {
+		t.Fatalf("-compact not applied: %q", out)
+	}
+
+	cfg = queryCfg(path)
+	cfg.wal = wal
+	cfg.del = 300
+	out = capture(t, func() error { return run(cfg) })
+	if !strings.Contains(out, "wal: recovered 301 tuples at seq 1") {
+		t.Fatalf("third -wal run should recover the insert: %q", out)
+	}
+	if !strings.Contains(out, "wal: deleted row 300 at seq 2") {
+		t.Fatalf("-delete not applied: %q", out)
+	}
+
+	cfg = queryCfg(path)
+	cfg.wal = wal
+	out = capture(t, func() error { return run(cfg) })
+	if !strings.Contains(out, "wal: recovered 300 tuples at seq 2") {
+		t.Fatalf("final -wal run should recover the full history: %q", out)
+	}
+
+	// Mutation flags demand durability.
+	cfg = queryCfg(path)
+	cfg.insert = "0.5,0.5,0.5"
+	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "require -wal") {
+		t.Fatalf("-insert without -wal: want guard error, got %v", err)
+	}
+	cfg = queryCfg(path)
+	cfg.wal = wal
+	cfg.insert = "0.5,bogus"
+	if err := run(cfg); err == nil || !strings.Contains(err.Error(), "-insert") {
+		t.Fatalf("malformed -insert: want parse error, got %v", err)
 	}
 }
 

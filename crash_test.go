@@ -1,0 +1,204 @@
+package kregret
+
+// The crash-point sweep: the durability claim of DESIGN.md §15 tested
+// literally. A scripted mutation history is recorded along with the
+// dataset state and query answer after every acknowledged mutation
+// (the incremental controls); then the WAL is truncated at EVERY byte
+// offset — modeling a kill at that exact point of the write — and
+// each truncation must recover to exactly one of the recorded states,
+// with query answers byte-identical (math.Float64bits) to that
+// state's control. No offset may produce an error, a panic, or a
+// state the acknowledged history never passed through.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// crashOp is one scripted mutation: a point to insert, or a delete of
+// index del when pt is nil.
+type crashOp struct {
+	pt  Point
+	del int
+}
+
+// crashScript mixes inserts (dominating, dominated, skyline-edge) and
+// deletes so replay exercises index shifting, not just appends.
+func crashScript() []crashOp {
+	return []crashOp{
+		{pt: Point{0.95, 0.95}},
+		{pt: Point{0.05, 0.05}},
+		{del: 3},
+		{pt: Point{0.2, 0.97}},
+		{del: 0},
+		{pt: Point{0.97, 0.2}},
+		{pt: Point{0.5, 0.01}},
+		{del: 7},
+	}
+}
+
+// crashControl is the recorded state after mutation seq: every
+// coordinate as raw float bits, plus the control answer.
+type crashControl struct {
+	bits [][]uint64
+	ans  *Answer
+}
+
+func datasetBits(t *testing.T, d *Dataset) [][]uint64 {
+	t.Helper()
+	bits := make([][]uint64, d.Len())
+	for i := range bits {
+		p := d.Point(i)
+		row := make([]uint64, len(p))
+		for j, c := range p {
+			row[j] = math.Float64bits(c)
+		}
+		bits[i] = row
+	}
+	return bits
+}
+
+func sameBits(a, b [][]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runCrashScript applies the script to a fresh WAL-backed dataset in
+// dir, recording a control per sequence number (control[0] is the
+// initial state). compactAt >= 0 compacts after that many mutations,
+// putting a snapshot watermark in the middle of the history.
+func runCrashScript(t *testing.T, dir string, compactAt int) (*Dataset, map[uint64]*crashControl) {
+	t.Helper()
+	ds := mutGrid(t, WithWAL(filepath.Join(dir, "crash.wal"), filepath.Join(dir, "crash.snap")))
+	controls := map[uint64]*crashControl{}
+	record := func() {
+		ans, err := ds.Query(2)
+		if err != nil {
+			t.Fatalf("control query at seq %d: %v", ds.Seq(), err)
+		}
+		controls[ds.Seq()] = &crashControl{bits: datasetBits(t, ds), ans: ans}
+	}
+	record()
+	for i, op := range crashScript() {
+		if op.pt != nil {
+			if _, err := ds.Insert(op.pt); err != nil {
+				t.Fatalf("script insert %d: %v", i, err)
+			}
+		} else {
+			if err := ds.Delete(op.del); err != nil {
+				t.Fatalf("script delete %d: %v", i, err)
+			}
+		}
+		record()
+		if i+1 == compactAt {
+			if err := ds.Compact(); err != nil {
+				t.Fatalf("script compact: %v", err)
+			}
+		}
+	}
+	return ds, controls
+}
+
+// verifyRecovered checks one recovered dataset against the control of
+// its sequence number.
+func verifyRecovered(t *testing.T, rec *Dataset, controls map[uint64]*crashControl, label string) {
+	t.Helper()
+	ctl, ok := controls[rec.Seq()]
+	if !ok {
+		t.Fatalf("%s: recovered to seq %d, which the history never acknowledged", label, rec.Seq())
+	}
+	if !sameBits(datasetBits(t, rec), ctl.bits) {
+		t.Fatalf("%s: recovered state at seq %d differs from control", label, rec.Seq())
+	}
+	ans, err := rec.Query(2)
+	if err != nil {
+		t.Fatalf("%s: recovered query: %v", label, err)
+	}
+	sameAnswerBits(t, ans, ctl.ans)
+}
+
+// sweepTruncations recovers (snapshot, wal[:cut]) for every cut and
+// verifies byte-identity with the control of the recovered seq. The
+// recovered seq must grow monotonically with the cut and reach the
+// full history at the final offset.
+func sweepTruncations(t *testing.T, srcDir string, controls map[uint64]*crashControl, wantFinal uint64) {
+	t.Helper()
+	walBytes, err := os.ReadFile(filepath.Join(srcDir, "crash.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBytes, err := os.ReadFile(filepath.Join(srcDir, "crash.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "crash.snap")
+	walPath := filepath.Join(dir, "crash.wal")
+	if err := os.WriteFile(snapPath, snapBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prevSeq := uint64(0)
+	for cut := 0; cut <= len(walBytes); cut++ {
+		if err := os.WriteFile(walPath, walBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(snapPath, walPath)
+		if err != nil {
+			t.Fatalf("cut at byte %d/%d: recovery failed: %v", cut, len(walBytes), err)
+		}
+		if rec.Seq() < prevSeq {
+			t.Fatalf("cut at byte %d: recovered seq %d went backwards from %d", cut, rec.Seq(), prevSeq)
+		}
+		prevSeq = rec.Seq()
+		verifyRecovered(t, rec, controls, fmt.Sprintf("cut at byte %d", cut))
+		if err := rec.Close(); err != nil {
+			t.Fatalf("cut at byte %d: close: %v", cut, err)
+		}
+	}
+	if prevSeq != wantFinal {
+		t.Fatalf("full-length log recovered seq %d, want the complete history %d", prevSeq, wantFinal)
+	}
+}
+
+// TestCrashPointSweepEveryByte is the core torn-tail matrix: a crash
+// at any byte of the log recovers the exact acknowledged prefix.
+func TestCrashPointSweepEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	ds, controls := runCrashScript(t, dir, -1)
+	final := ds.Seq()
+	// Crash model: the process dies — the log is never closed.
+	sweepTruncations(t, dir, controls, final)
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashPointSweepAcrossCompaction repeats the matrix with a
+// compaction in the middle of the history: the snapshot watermark
+// must absorb the folded prefix, so every truncation of the
+// post-compaction log still lands on an acknowledged state — never
+// on a double-applied or rewound one.
+func TestCrashPointSweepAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	ds, controls := runCrashScript(t, dir, 4)
+	final := ds.Seq()
+	sweepTruncations(t, dir, controls, final)
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,6 +45,7 @@ type engineOptions struct {
 	retryBudget         int
 	retryBackoff        time.Duration
 	watchdogInterval    time.Duration
+	rebuildEvery        int
 }
 
 // WithWorkers bounds how many queries execute concurrently (default
@@ -125,6 +126,17 @@ func WithRetryBudget(retries int, backoff time.Duration) EngineOption {
 	}
 }
 
+// WithRebuildThreshold sets how many applied mutations accumulate
+// before Engine.Apply folds them into a fresh serving epoch (default
+// 1: every Apply call rebuilds). Until the threshold is reached,
+// queries keep answering from the previous epoch — mutations are
+// already durable in the dataset's WAL, just not yet visible to the
+// engine's readers. Raise it to amortize candidate-set and index
+// rebuild cost over bursts of mutations.
+func WithRebuildThreshold(n int) EngineOption {
+	return func(o *engineOptions) { o.rebuildEvery = n }
+}
+
 // WithWatchdog starts a background scanner that every interval checks
 // the in-flight queries for work running past its deadline by more
 // than one interval — evidence that a solver is stuck in a loop the
@@ -174,6 +186,15 @@ type EngineStats struct {
 	// SnapshotRebuilt reports that startup found the snapshot file
 	// missing, corrupt or mismatched and rebuilt the index.
 	SnapshotRebuilt bool
+	// Mutation counters. Epoch is the serving epoch number (1 at
+	// startup, +1 per fold); MutationsApplied counts mutations
+	// durably applied through Engine.Apply; Rebuilds counts epoch
+	// folds; PendingMutations is the gauge of applied-but-not-yet-
+	// folded mutations (always below WithRebuildThreshold).
+	Epoch            uint64
+	MutationsApplied uint64
+	Rebuilds         uint64
+	PendingMutations int
 }
 
 // Engine is the production serving layer around a Dataset: a bounded
@@ -187,8 +208,15 @@ type EngineStats struct {
 //	defer eng.Shutdown(context.Background())
 //	ans, err := eng.Query(ctx, 10)
 type Engine struct {
-	ds       *Dataset
-	idx      *Index // non-nil only with WithSnapshot
+	// base is the live, mutable dataset Engine.Apply writes through
+	// (and the WAL behind it, when one is attached). Queries never
+	// touch it: they run against the epoch below.
+	base *Dataset
+	// epoch is the immutable serving state: a Snapshot of base plus
+	// its index, swapped atomically by Apply once enough mutations
+	// accumulate. In-flight queries finish on the epoch they loaded;
+	// new queries see the new one. Copy-on-write, no read locks.
+	epoch    atomic.Pointer[engineEpoch]
 	pool     *serve.Pool
 	breakers *serve.BreakerSet
 	opts     engineOptions
@@ -202,7 +230,15 @@ type Engine struct {
 	retries         atomic.Uint64
 	retrySuccesses  atomic.Uint64
 	watchdogStuck   atomic.Uint64
+	applied         atomic.Uint64
+	rebuilds        atomic.Uint64
+	stopping        atomic.Bool
 	snapshotRebuilt bool
+
+	// muApply serializes mutation application and epoch folds;
+	// pending counts applied-but-not-yet-folded mutations.
+	muApply sync.Mutex
+	pending int
 
 	// Watchdog lifecycle: nil channels when disabled. Shutdown closes
 	// watchdogStop (once) and joins watchdogDone.
@@ -215,6 +251,17 @@ type Engine struct {
 	muInflight sync.Mutex
 	inflight   map[uint64]*inflightEntry
 	inflightID uint64
+}
+
+// engineEpoch is one immutable generation of serving state: a
+// read-only view of the dataset (pinned by Dataset.Snapshot) and the
+// index built over it. Queries load the pointer once and use only the
+// epoch for the rest of the attempt, so a concurrent Apply can swap
+// in a successor without ever making a reader mix generations.
+type engineEpoch struct {
+	num uint64
+	ds  *Dataset
+	idx *Index // non-nil only with WithSnapshot
 }
 
 // inflightEntry is one running query as the watchdog sees it: the
@@ -240,20 +287,22 @@ func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
 		f(&o)
 	}
 	e := &Engine{
-		ds:   ds,
+		base: ds,
 		opts: o,
 		breakers: serve.NewBreakerSet(serve.BreakerConfig{
 			Threshold: o.breakerThreshold,
 			Cooldown:  o.breakerCooldown,
 		}),
 	}
+	ep := &engineEpoch{num: 1, ds: ds.Snapshot()}
 	if o.snapshotPath != "" {
-		idx, rebuilt, err := loadOrRebuildIndex(ds, o.snapshotPath)
+		idx, rebuilt, err := loadOrRebuildIndex(ep.ds, o.snapshotPath)
 		if err != nil {
 			return nil, err
 		}
-		e.idx, e.snapshotRebuilt = idx, rebuilt
+		ep.idx, e.snapshotRebuilt = idx, rebuilt
 	}
+	e.epoch.Store(ep)
 	e.pool = serve.NewPool(serve.Config{Workers: o.workers, QueueDepth: o.queueDepth})
 	e.perQueryWorkers = derivePerQueryWorkers(o.parallelismBudget, e.pool.Stats().Workers)
 	if o.watchdogInterval > 0 {
@@ -418,33 +467,37 @@ func waitBackoff(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// serveOnce runs one attempt of an admitted query.
+// serveOnce runs one attempt of an admitted query. It loads the
+// serving epoch exactly once, up front: every read below — index,
+// breaker key, solver — comes from that one generation, so an epoch
+// swap mid-attempt cannot hand the attempt a mixed view.
 func (e *Engine) serveOnce(ctx context.Context, k int, o *options, opts []Option) (*Answer, error) {
+	ep := e.epoch.Load()
 	if e.watchdogDone != nil {
 		deadline, _ := ctx.Deadline() // zero when unbounded: never stuck
-		id := e.registerInflight(breakerKey(o.algorithm, e.ds.Dim()), deadline)
+		id := e.registerInflight(breakerKey(o.algorithm, ep.ds.Dim()), deadline)
 		defer e.unregisterInflight(id)
 	}
 
 	// Default-config queries on a snapshot-backed engine are served
 	// from the materialized list in O(k) — no breaker needed, the
 	// index cannot fail numerically.
-	if e.idx != nil && o.algorithm == AlgoGeoGreedy && o.candidates == CandidatesHappy {
-		if ans, err := e.idx.Query(k); err == nil {
+	if ep.idx != nil && o.algorithm == AlgoGeoGreedy && o.candidates == CandidatesHappy {
+		if ans, err := ep.idx.Query(k); err == nil {
 			return ans, nil
 		}
 		// Partial index (BuildIndexUpTo) or k beyond it: fall through
 		// to the live solver.
 	}
 
-	br := e.breakers.For(breakerKey(o.algorithm, e.ds.Dim()))
+	br := e.breakers.For(breakerKey(o.algorithm, ep.ds.Dim()))
 	if o.algorithm == AlgoCube {
 		// Cube is the floor of the fallback chain — non-adaptive
 		// arithmetic with nothing to break.
-		return e.ds.QueryContext(ctx, k, opts...)
+		return ep.ds.QueryContext(ctx, k, opts...)
 	}
 	if !br.Allow() {
-		ans, err := e.ds.QueryContext(ctx, k, append(opts, WithAlgorithm(AlgoCube))...)
+		ans, err := ep.ds.QueryContext(ctx, k, append(opts, WithAlgorithm(AlgoCube))...)
 		if err != nil {
 			return nil, err
 		}
@@ -452,11 +505,11 @@ func (e *Engine) serveOnce(ctx context.Context, k int, o *options, opts []Option
 		e.degraded.Add(1)
 		ans.Degraded = true
 		ans.FallbackReason = fmt.Sprintf("circuit breaker open for %s: served by Cube without attempting %v",
-			breakerKey(o.algorithm, e.ds.Dim()), o.algorithm)
+			breakerKey(o.algorithm, ep.ds.Dim()), o.algorithm)
 		return ans, nil
 	}
 
-	ans, err := e.ds.QueryContext(ctx, k, opts...)
+	ans, err := ep.ds.QueryContext(ctx, k, opts...)
 	switch {
 	case err == nil && !ans.Degraded:
 		br.Record(true)
@@ -494,7 +547,14 @@ func (e *Engine) Stats() EngineStats {
 	for k, s := range states {
 		breakers[k] = s.String()
 	}
+	e.muApply.Lock()
+	pending := e.pending
+	e.muApply.Unlock()
 	return EngineStats{
+		Epoch:                e.epoch.Load().num,
+		MutationsApplied:     e.applied.Load(),
+		Rebuilds:             e.rebuilds.Load(),
+		PendingMutations:     pending,
 		Admitted:             ps.Admitted,
 		Completed:            ps.Completed,
 		ShedOverload:         ps.ShedOverload,
@@ -579,6 +639,11 @@ func (e *Engine) unregisterInflight(id uint64) {
 // joined, so a fully shut-down engine leaves no goroutine behind.
 // Safe to call multiple times; a post-shutdown Query never blocks.
 func (e *Engine) Shutdown(ctx context.Context) error {
+	// Stop accepting mutations before the query drain: an Apply
+	// admitted after this point could swap an epoch no query will
+	// ever see. One already inside Apply finishes its fold — the
+	// drain below does not race it, epoch swaps are atomic.
+	e.stopping.Store(true)
 	if err := e.pool.Shutdown(ctx); err != nil {
 		return err
 	}
@@ -589,6 +654,122 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// Index returns the snapshot-backed index, or nil when the engine was
-// built without WithSnapshot.
-func (e *Engine) Index() *Index { return e.idx }
+// Index returns the current epoch's snapshot-backed index, or nil
+// when the engine was built without WithSnapshot.
+func (e *Engine) Index() *Index { return e.epoch.Load().idx }
+
+// Dataset returns the current serving epoch's read-only dataset view.
+// It is pinned: later mutations through Apply never change it.
+func (e *Engine) Dataset() *Dataset { return e.epoch.Load().ds }
+
+// Mutation is one dataset change submitted to Engine.Apply: build
+// them with InsertMutation and DeleteMutation.
+type Mutation struct {
+	point  Point
+	index  int
+	insert bool
+}
+
+// InsertMutation appends a point (in the dataset's current normalized
+// coordinate space — see Dataset.Insert). The coordinates are copied:
+// the caller may reuse p.
+func InsertMutation(p Point) Mutation {
+	return Mutation{point: append(Point(nil), p...), insert: true}
+}
+
+// DeleteMutation removes the point at index i (later indices shift
+// down by one — see Dataset.Delete).
+func DeleteMutation(i int) Mutation { return Mutation{index: i} }
+
+// Apply durably applies mutations to the engine's dataset and, once
+// WithRebuildThreshold mutations have accumulated, folds them into a
+// fresh serving epoch: candidate caches are rebuilt lazily for the
+// new generation, the index (WithSnapshot) is rebuilt eagerly, and
+// the epoch pointer is swapped atomically — queries already running
+// finish on the old epoch, new queries see the fold. After the swap
+// the engine persists best-effort: the rebuilt index is written back
+// to the snapshot path and a WAL-backed dataset is compacted.
+//
+// Mutations are applied in order and each is durable (WAL-appended
+// and fsynced per the dataset's WithSyncEvery) before the next is
+// attempted. On error, every mutation before the failing one remains
+// applied and durable; the error says which one failed. An error
+// from the post-swap persistence or rebuild step does not undo any
+// mutation — re-applying is never the right response to it, the next
+// fold retries. After Shutdown has begun, Apply returns
+// ErrShuttingDown without applying anything.
+func (e *Engine) Apply(ctx context.Context, muts ...Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	e.muApply.Lock()
+	defer e.muApply.Unlock()
+	if e.stopping.Load() {
+		return fmt.Errorf("kregret: apply: %w", ErrShuttingDown)
+	}
+	for i, m := range muts {
+		var err error
+		if m.insert {
+			_, err = e.base.Insert(m.point)
+		} else {
+			err = e.base.Delete(m.index)
+		}
+		if err != nil {
+			// The prefix before i is durable. Fold it in now rather
+			// than leaving applied mutations invisible until an
+			// arbitrarily later Apply.
+			e.pending += i
+			var ferr error
+			if e.pending > 0 {
+				ferr = e.foldLocked(ctx)
+			}
+			return errors.Join(fmt.Errorf("kregret: apply mutation %d: %w", i, err), ferr)
+		}
+		e.applied.Add(1)
+	}
+	e.pending += len(muts)
+	threshold := e.opts.rebuildEvery
+	if threshold < 1 {
+		threshold = 1
+	}
+	if e.pending < threshold {
+		return nil
+	}
+	return e.foldLocked(ctx)
+}
+
+// foldLocked builds the successor epoch from the live dataset and
+// swaps it in, then persists best-effort. Callers hold muApply.
+func (e *Engine) foldLocked(ctx context.Context) error {
+	old := e.epoch.Load()
+	ep := &engineEpoch{num: old.num + 1, ds: e.base.Snapshot()}
+	if e.opts.snapshotPath != "" {
+		idx, err := ep.ds.BuildIndexContext(ctx)
+		if err != nil {
+			// Mutations stay pending; the next Apply retries the
+			// fold. Queries keep answering from the old epoch.
+			return fmt.Errorf("kregret: epoch %d index rebuild: %w", ep.num, err)
+		}
+		ep.idx = idx
+	}
+	e.epoch.Store(ep)
+	e.rebuilds.Add(1)
+	e.pending = 0
+
+	// Persistence rides behind the swap: serving switches to the new
+	// epoch immediately, disk writes only bound restart/recovery
+	// time. Both failures are reported but change nothing in memory —
+	// the WAL already holds every mutation durably.
+	var errs []error
+	if ep.idx != nil {
+		if err := ep.idx.SaveFile(e.opts.snapshotPath, ep.ds); err != nil {
+			errs = append(errs, fmt.Errorf("kregret: persisting epoch %d index: %w", ep.num, err))
+		}
+	}
+	if e.base.WALBacked() {
+		if err := e.base.Compact(); err != nil {
+			errs = append(errs, fmt.Errorf("kregret: post-fold compaction: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}

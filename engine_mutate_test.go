@@ -1,0 +1,332 @@
+package kregret
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEngineApplyFoldsEpoch: one Apply (default threshold 1) swaps in
+// a new epoch whose queries see the mutation, while a view pinned
+// before the fold keeps answering from the old generation.
+func TestEngineApplyFoldsEpoch(t *testing.T) {
+	ds := mutGrid(t)
+	eng, err := NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	before, err := eng.Query(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := eng.Dataset()
+
+	// {1,1} dominates every grid point: any 2-point answer must pick it.
+	if err := eng.Apply(context.Background(), InsertMutation(Point{1.0, 1.0})); err != nil {
+		t.Fatal(err)
+	}
+	after, err := eng.Query(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, idx := range after.Indices {
+		if idx == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-fold query missed the dominating insert: %v", after.Indices)
+	}
+	// The pinned pre-fold view is immune to the mutation.
+	if pinned.Len() != 6 {
+		t.Fatalf("pinned epoch grew: len=%d", pinned.Len())
+	}
+	old, err := pinned.Query(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAnswerBits(t, old, before)
+
+	s := eng.Stats()
+	if s.Epoch != 2 || s.MutationsApplied != 1 || s.Rebuilds != 1 || s.PendingMutations != 0 {
+		t.Fatalf("stats after one fold: epoch=%d applied=%d rebuilds=%d pending=%d",
+			s.Epoch, s.MutationsApplied, s.Rebuilds, s.PendingMutations)
+	}
+}
+
+// TestEngineRebuildThreshold: below the threshold, mutations are
+// applied (and durable) but invisible to queries; crossing it folds
+// them all at once.
+func TestEngineRebuildThreshold(t *testing.T) {
+	ds := mutGrid(t)
+	eng, err := NewEngine(ds, WithRebuildThreshold(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		if err := eng.Apply(context.Background(), InsertMutation(Point{0.2, 0.2})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := eng.Stats(); s.Epoch != 1 || s.PendingMutations != 2 || s.Rebuilds != 0 {
+		t.Fatalf("below threshold: epoch=%d pending=%d rebuilds=%d", s.Epoch, s.PendingMutations, s.Rebuilds)
+	}
+	if n := eng.Dataset().Len(); n != 6 {
+		t.Fatalf("serving epoch saw unfolded mutations: len=%d", n)
+	}
+	// The live dataset has them — they are applied, just not served.
+	if n := ds.Len(); n != 8 {
+		t.Fatalf("live dataset missing applied mutations: len=%d", n)
+	}
+	if err := eng.Apply(context.Background(), InsertMutation(Point{0.2, 0.2})); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.Epoch != 2 || s.PendingMutations != 0 || s.Rebuilds != 1 || s.MutationsApplied != 3 {
+		t.Fatalf("after threshold: %+v", s)
+	}
+	if n := eng.Dataset().Len(); n != 9 {
+		t.Fatalf("fold missed mutations: len=%d", n)
+	}
+}
+
+// TestEngineApplyRebuildsIndex: on a snapshot-backed engine a fold
+// rebuilds the index over the new epoch, serves from it, and persists
+// it — the file on disk loads against the new epoch's dataset.
+func TestEngineApplyRebuildsIndex(t *testing.T) {
+	ds := mutGrid(t)
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	eng, err := NewEngine(ds, WithSnapshot(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := eng.Apply(context.Background(), InsertMutation(Point{1.0, 1.0})); err != nil {
+		t.Fatal(err)
+	}
+	idx := eng.Index()
+	if idx == nil {
+		t.Fatal("index lost across fold")
+	}
+	ans, err := idx.Query(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, i := range ans.Indices {
+		if i == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rebuilt index does not know the insert: %v", ans.Indices)
+	}
+	// The persisted snapshot belongs to the new epoch.
+	if _, err := LoadFile(path, eng.Dataset()); err != nil {
+		t.Fatalf("persisted index does not match the new epoch: %v", err)
+	}
+	// And no longer to the old one.
+	old := mutGrid(t)
+	if _, err := LoadFile(path, old); !errors.Is(err, ErrIndexMismatch) {
+		t.Fatalf("stale-dataset load: %v", err)
+	}
+}
+
+// TestEngineApplyDurableAndCompacted: over a WAL-backed dataset every
+// fold compacts the log, and killing the process right here (modeled
+// by recovering from the on-disk pair without Close) yields a dataset
+// answering bit-identically to the engine's serving epoch.
+func TestEngineApplyDurableAndCompacted(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "mut.wal")
+	snapPath := filepath.Join(dir, "mut.snap")
+	ds := mutGrid(t, WithWAL(walPath, snapPath))
+	eng, err := NewEngine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := eng.Apply(context.Background(),
+		InsertMutation(Point{1.0, 1.0}),
+		DeleteMutation(3),
+		InsertMutation(Point{0.7, 0.2}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	// The fold compacted: the log is back to its bare header.
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 16 {
+		t.Fatalf("log not compacted after fold: %d bytes", fi.Size())
+	}
+	want, err := eng.Query(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(snapPath, walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Len() != ds.Len() || rec.Seq() != ds.Seq() {
+		t.Fatalf("recovered len/seq %d/%d, want %d/%d", rec.Len(), rec.Seq(), ds.Len(), ds.Seq())
+	}
+	got, err := rec.Query(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAnswerBits(t, got, want)
+}
+
+// TestEngineApplyPartialFailureFolds: a failing mutation mid-batch
+// reports its position, keeps the durable prefix, and still folds the
+// prefix into the serving epoch rather than leaving it invisible.
+func TestEngineApplyPartialFailureFolds(t *testing.T) {
+	ds := mutGrid(t)
+	eng, err := NewEngine(ds, WithRebuildThreshold(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := eng.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	err = eng.Apply(context.Background(),
+		InsertMutation(Point{0.4, 0.4}),
+		DeleteMutation(99), // out of range
+		InsertMutation(Point{0.6, 0.6}),
+	)
+	if err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+	s := eng.Stats()
+	if s.MutationsApplied != 1 || s.PendingMutations != 0 || s.Epoch != 2 {
+		t.Fatalf("prefix not folded after failure: %+v", s)
+	}
+	if n := eng.Dataset().Len(); n != 7 {
+		t.Fatalf("serving epoch len=%d, want 7", n)
+	}
+}
+
+// TestEngineShutdownRacingApply is the lifecycle race of the epoch
+// design: Applies and queries in full flight while Shutdown drains.
+// The drain must complete, no goroutine may leak, and every Apply
+// must either fully succeed or report ErrShuttingDown — with any
+// mutations it did apply still folded or pending, never lost.
+func TestEngineShutdownRacingApply(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ds := mutGrid(t)
+	eng, err := NewEngine(ds, WithWorkers(4), WithQueueDepth(8), WithWatchdog(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		applied  int64
+		rejected int64
+		muCount  sync.Mutex
+	)
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				err := eng.Apply(context.Background(), InsertMutation(Point{0.1, 0.1}))
+				muCount.Lock()
+				if err == nil {
+					applied++
+				} else if errors.Is(err, ErrShuttingDown) {
+					rejected++
+					muCount.Unlock()
+					return
+				} else {
+					t.Errorf("apply failed with non-shutdown error: %v", err)
+					muCount.Unlock()
+					return
+				}
+				muCount.Unlock()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for {
+				_, err := eng.Query(context.Background(), 2)
+				if err != nil {
+					if !errors.Is(err, ErrShuttingDown) && !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrShed) {
+						t.Errorf("query failed with unclassified error: %v", err)
+					}
+					if errors.Is(err, ErrShuttingDown) {
+						return
+					}
+				}
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(20 * time.Millisecond) // let the race develop
+	if err := eng.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+	wg.Wait()
+
+	if rejected == 0 {
+		t.Fatal("no Apply observed ErrShuttingDown")
+	}
+	// Post-shutdown mutations are rejected outright.
+	if err := eng.Apply(context.Background(), InsertMutation(Point{0.1, 0.1})); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown Apply: %v", err)
+	}
+	// Nothing applied was lost: the engine's counter matches the
+	// dataset's logical clock exactly.
+	s := eng.Stats()
+	if uint64(applied) != s.MutationsApplied || ds.Seq() != s.MutationsApplied {
+		t.Fatalf("mutation accounting: acked=%d stats=%d seq=%d", applied, s.MutationsApplied, ds.Seq())
+	}
+	// Every fold was consistent: serving epoch length is base + folded.
+	if got, want := eng.Dataset().Len(), 6+int(s.MutationsApplied)-s.PendingMutations; got != want {
+		t.Fatalf("serving epoch len=%d, want %d", got, want)
+	}
+
+	// The drain left no goroutine behind (watchdog included).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", base, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -22,7 +22,7 @@ func (d *Dataset) QueryExact2D(k int) (*Answer, error) {
 	if k < 1 {
 		return nil, ErrBadK
 	}
-	res, err := core.Exact2D(d.pts, k)
+	res, err := core.Exact2D(d.snap().pts, k)
 	if err != nil {
 		return nil, fmt.Errorf("kregret: %w", err)
 	}
@@ -44,11 +44,12 @@ func (d *Dataset) QueryAverage(k, samples int, seed int64) (*Answer, float64, er
 	if k < 1 {
 		return nil, 0, ErrBadK
 	}
-	res, err := core.AverageGreedy(d.pts, k, samples, seed)
+	st := d.snap()
+	res, err := core.AverageGreedy(st.pts, k, samples, seed)
 	if err != nil {
 		return nil, 0, fmt.Errorf("kregret: %w", err)
 	}
-	mrr, err := core.MRRGeometric(d.pts, res.Indices)
+	mrr, err := core.MRRGeometric(st.pts, res.Indices)
 	if err != nil {
 		return nil, 0, fmt.Errorf("kregret: %w", err)
 	}
@@ -71,7 +72,7 @@ type InteractiveSession struct {
 
 // NewInteractiveSession prepares a session over this dataset.
 func (d *Dataset) NewInteractiveSession() (*InteractiveSession, error) {
-	s, err := interactive.NewSession(d.pts)
+	s, err := interactive.NewSession(d.snap().pts)
 	if err != nil {
 		return nil, fmt.Errorf("kregret: %w", err)
 	}
@@ -130,7 +131,7 @@ type Face struct {
 // Faces returns the non-origin faces of Conv(S) for a selection of
 // dataset indices, deterministically ordered.
 func (d *Dataset) Faces(selection []int) ([]Face, error) {
-	faces, err := core.FacesOf(d.pts, selection)
+	faces, err := core.FacesOf(d.snap().pts, selection)
 	if err != nil {
 		return nil, fmt.Errorf("kregret: %w", err)
 	}
@@ -145,10 +146,11 @@ func (d *Dataset) Faces(selection []int) ([]Face, error) {
 // against a selection: < 1 outside the selection's hull (the tuple
 // contributes regret), 1 on its boundary, > 1 strictly inside.
 func (d *Dataset) CriticalRatio(selection []int, tuple int) (float64, error) {
-	if tuple < 0 || tuple >= len(d.pts) {
-		return 0, fmt.Errorf("kregret: tuple index %d out of range (n=%d)", tuple, len(d.pts))
+	st := d.snap()
+	if tuple < 0 || tuple >= len(st.pts) {
+		return 0, fmt.Errorf("kregret: tuple index %d out of range (n=%d)", tuple, len(st.pts))
 	}
-	cr, err := core.CriticalRatioOf(d.pts, selection, d.pts[tuple])
+	cr, err := core.CriticalRatioOf(st.pts, selection, st.pts[tuple])
 	if err != nil {
 		return 0, fmt.Errorf("kregret: %w", err)
 	}

@@ -43,11 +43,37 @@ type skewWire struct {
 // site is allowlisted instead of registered.
 type scratchWire struct{ X int }
 
+// rawWire is a hand-rolled binary format: no gob anywhere, but its
+// appendWire method marks it as a wire struct and its manifest entry
+// matches — the registered happy path of the appendWire convention.
+type rawWire struct {
+	Seq  uint64
+	Data []float64
+}
+
+func (r rawWire) appendWire(dst []byte) []byte {
+	for range r.Data {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// looseWire hand-serializes like rawWire but was never registered:
+// its wire layout could drift without any reviewed manifest line.
+type looseWire struct {
+	Tag byte
+}
+
+func (l looseWire) appendWire(dst []byte) []byte { // want: wireguard
+	return append(dst, l.Tag)
+}
+
 var wireManifest = map[string]string{
 	"recordWire": "v3 Version int; N int; Tags []string",
 	"driftWire":  "v1 Version int; Name string", // want: wireguard
 	"skewWire":   "v2 Version int",              // want: wireguard
 	"ghostWire":  "v1 Version int",              // want: wireguard
+	"rawWire":    "v1 Seq uint64; Data []float64",
 }
 
 func saveRecord(w io.Writer, n int, tags []string) error {

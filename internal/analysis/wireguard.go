@@ -19,9 +19,16 @@ import (
 //	    "indexWire": "v2 Version int; Checksum uint64; N int; Dim int; Cand []int; Ext []int",
 //	}
 //
+// Hand-rolled binary formats opt in through the appendWire
+// convention: a method named appendWire on a package-local struct
+// (e.g. internal/wal's Record) marks it as a wire type with the same
+// manifest obligation — its layout is a durability promise exactly
+// like a gob stream's.
+//
 // The analyzer cross-checks three things:
 //
-//   - every gob-encoded struct type has a manifest entry;
+//   - every wire struct type (gob-encoded, gob-decoded, or carrying
+//     an appendWire method) has a manifest entry;
 //   - the entry's field list matches the struct's current fields
 //     (name and type, in declaration order) — adding, removing or
 //     retyping a field without touching the manifest is a finding,
@@ -35,7 +42,7 @@ import (
 // a renamed wire struct must retire its old line explicitly.
 var WireGuard = &Analyzer{
 	Name: "wireguard",
-	Doc:  "gob wire structs registered in wireManifest with matching fields and version pin",
+	Doc:  "wire structs (gob or appendWire) registered in wireManifest with matching fields and version pin",
 	Run:  runWireGuard,
 }
 
@@ -67,6 +74,24 @@ func runWireGuard(pass *Pass) {
 			return true
 		})
 	}
+	// Plus every local struct carrying an appendWire method — the
+	// convention marking a hand-rolled binary wire format (the WAL
+	// record frame) with the same compat promise as a gob stream.
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "appendWire" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			tn := localStructName(pass, info.TypeOf(fd.Recv.List[0].Type))
+			if tn == nil {
+				continue
+			}
+			if _, seen := wire[tn]; !seen {
+				wire[tn] = fd.Name.Pos()
+			}
+		}
+	}
 	if len(wire) == 0 {
 		return
 	}
@@ -74,7 +99,7 @@ func runWireGuard(pass *Pass) {
 	manifest, entryPos := findWireManifest(pass)
 	if manifest == nil {
 		for tn, pos := range wire {
-			pass.Reportf(pos, "gob-encoded struct %s has no %s: declare one pinning its version and field layout", tn.Name(), wireManifestName)
+			pass.Reportf(pos, "wire struct %s has no %s: declare one pinning its version and field layout", tn.Name(), wireManifestName)
 		}
 		return
 	}
@@ -84,7 +109,7 @@ func runWireGuard(pass *Pass) {
 		seen[tn.Name()] = true
 		entry, ok := manifest[tn.Name()]
 		if !ok {
-			pass.Reportf(pos, "gob-encoded struct %s is not registered in %s", tn.Name(), wireManifestName)
+			pass.Reportf(pos, "wire struct %s is not registered in %s", tn.Name(), wireManifestName)
 			continue
 		}
 		version, fields, ok := splitWireEntry(entry)
@@ -102,7 +127,7 @@ func runWireGuard(pass *Pass) {
 	}
 	for name, pos := range entryPos {
 		if !seen[name] {
-			pass.Reportf(pos, "%s entry %q matches no gob-encoded struct in this package", wireManifestName, name)
+			pass.Reportf(pos, "%s entry %q matches no wire struct in this package", wireManifestName, name)
 		}
 	}
 }

@@ -3,10 +3,10 @@
 // single int64 seed — pairs a randomized combination of
 // internal/fault injection sites (each armed on an independent
 // probabilistic trigger) with per-client request scripts mixing
-// healthy, short-deadline, pre-canceled, fallback-disabled and
-// breaker-key-skewed traffic. The tagged half of the package
-// (soak.go, build tag kregretfault) drives a kregret.Engine with the
-// schedule and checks five global invariants:
+// healthy, short-deadline, pre-canceled, fallback-disabled,
+// breaker-key-skewed and durable-mutation traffic. The tagged half of
+// the package (soak.go, build tag kregretfault) drives a
+// kregret.Engine with the schedule and checks six global invariants:
 //
 //  1. request conservation — every issued request is answered, shed
 //     or canceled, none lost, and the pool counters balance exactly;
@@ -19,7 +19,12 @@
 //     pre-engine baseline after drain;
 //  5. answer fidelity — every non-degraded response is byte-identical
 //     (indices and math.Float64bits of the regret ratio) to the
-//     fault-free control answer for its request shape.
+//     fault-free control answer for its request shape, even as
+//     mutation traffic swaps serving epochs underneath the readers;
+//  6. durable recovery — after the drain, Recover over the on-disk
+//     (snapshot, WAL) pair reproduces the final acknowledged
+//     in-memory dataset bit-for-bit, injected fsync and compaction
+//     failures included.
 //
 // Everything is a pure function of the seed, so any failing soak run
 // is replayed exactly with
@@ -63,8 +68,16 @@ const (
 	// ClassPreCanceled arrives already canceled and must be shed at
 	// admission without touching a solver.
 	ClassPreCanceled
+	// ClassMutation is a durable write: Engine.Apply inserting a
+	// strictly-dominated point. Dominated inserts never change any
+	// candidate set, so every other class's control answer stays
+	// byte-identical across the folds — mutation traffic is free to
+	// interleave with the answer-fidelity invariant. Deletes are
+	// excluded for the same reason: shifting indices would invalidate
+	// the controls.
+	ClassMutation
 
-	numClasses = 6
+	numClasses = 7
 )
 
 // FaultArm describes one probabilistic injection: Site fires on each
@@ -144,6 +157,23 @@ func Generate(seed int64, clients, perClient int) *Schedule {
 			Seed: siteSeed(seed, site),
 		})
 	}
+	// Durability sites fire rarely too: an injected WAL fsync,
+	// compaction or snapshot-fsync failure must surface as a clean
+	// mutation error (the soak's recovery invariant proves no torn
+	// acknowledged state), and mutation traffic is itself a small
+	// slice of the mix. wal.append is deliberately absent — it models
+	// a mid-write process death and bricks the log until compaction,
+	// which the crash-point sweep covers exhaustively instead.
+	for _, site := range []string{fault.SiteWALSync, fault.SiteWALRotate, fault.SitePersistSync} {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		s.Faults = append(s.Faults, FaultArm{
+			Site: site,
+			P:    0.02 + 0.08*rng.Float64(),
+			Seed: siteSeed(seed, site),
+		})
+	}
 	// The slow-pivot stall turns the LP into a sluggish loop; kept to
 	// low-millisecond stalls so a soak run stays short while still
 	// overshooting the short-deadline class's budget.
@@ -170,17 +200,19 @@ func Generate(seed int64, clients, perClient int) *Schedule {
 		for i := range script {
 			req := Request{K: 1 + rng.Intn(4)}
 			switch p := rng.Float64(); {
-			case p < 0.25:
+			case p < 0.24:
 				req.Class = ClassHealthy
-			case p < 0.45:
+			case p < 0.43:
 				req.Class = ClassHealthyLive
-			case p < 0.65:
+			case p < 0.61:
 				req.Class = ClassNoFallback
-			case p < 0.80:
+			case p < 0.76:
 				req.Class = ClassSkewed
-			case p < 0.90:
+			case p < 0.86:
 				req.Class = ClassShortDeadline
 				req.Timeout = time.Millisecond + time.Duration(rng.Int63n(int64(4*time.Millisecond)))
+			case p < 0.93:
+				req.Class = ClassMutation
 			default:
 				req.Class = ClassPreCanceled
 			}

@@ -44,12 +44,19 @@ type Report struct {
 	Shed      uint64 // ErrShed + ErrOverloaded + ErrShuttingDown
 	Canceled  uint64 // context errors surfaced to the client
 	Numerical uint64 // fallback-disabled numerical failures
-	Stats     kregret.EngineStats
+	Mutations uint64 // durable inserts applied through Engine.Apply
+	// MutationsFailed counts Apply errors other than shutdown — an
+	// injected WAL fsync or compaction failure. Each is individually
+	// harmless (the mutation was cleanly rejected or applied with its
+	// persistence deferred); invariant 6 proves so collectively.
+	MutationsFailed uint64
+	Stats           kregret.EngineStats
 }
 
 // outcome counters shared by the soak clients.
 type tally struct {
 	issued, ok, degraded, shed, canceled, numerical atomic.Uint64
+	mutations, mutationsFailed                      atomic.Uint64
 }
 
 // violation collection: the soak never fails fast — it records every
@@ -160,9 +167,22 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	baseline := runtime.NumGoroutine()
 	v := &violations{}
 
-	ds, err := kregret.NewDataset(soakPoints(cfg.Seed, 160, 3))
+	// The dataset is WAL-backed: mutation traffic must be durable so
+	// the post-drain recovery invariant has an on-disk pair to check.
+	walPath := filepath.Join(cfg.Dir, "chaos.wal")
+	baseSnap := filepath.Join(cfg.Dir, "chaos.base")
+	ds, err := kregret.NewDataset(soakPoints(cfg.Seed, 160, 3),
+		kregret.WithWAL(walPath, baseSnap))
 	if err != nil {
 		return nil, fmt.Errorf("chaos: dataset: %w", err)
+	}
+	// The mutation class inserts this strictly-dominated point (half
+	// of tuple 0, already normalized): it can never join a skyline,
+	// happy or convex candidate set, so control answers survive every
+	// fold untouched.
+	mutPt := ds.Point(0)
+	for j := range mutPt {
+		mutPt[j] *= 0.5
 	}
 
 	// Invariant 3 setup: the snapshot the engine finds is garbage; it
@@ -179,6 +199,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		kregret.WithWatchdog(5*time.Millisecond),
 		kregret.WithQueryTimeout(250*time.Millisecond),
 		kregret.WithSnapshot(snap),
+		// Folds every other mutation: both the pending-mutation state
+		// and the swap-under-load path stay exercised.
+		kregret.WithRebuildThreshold(2),
 	)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: engine: %w", err)
@@ -195,6 +218,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	control := map[ckey]*kregret.Answer{}
 	for class := RequestClass(0); class < numClasses; class++ {
+		if class == ClassMutation {
+			continue // writes have no control answer
+		}
 		for k := 1; k <= 4; k++ {
 			ans, err := eng.Query(ctx, k, profile(class)...)
 			if err != nil {
@@ -227,7 +253,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			defer wg.Done()
 			for pass := 0; pass == 0 || time.Since(start) < cfg.Duration; pass++ {
 				for _, req := range script {
-					issueOne(ctx, eng, req, control[ckey{req.Class, req.K}], &tl, v)
+					issueOne(ctx, eng, req, control[ckey{req.Class, req.K}], mutPt, &tl, v)
 				}
 			}
 		}(sched.Requests[c])
@@ -271,8 +297,49 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		v.addf("shutdown: %v", err)
 	}
 	stats := eng.Stats()
-	if got, want := tl.issued.Load(), tl.ok.Load()+tl.degraded.Load()+tl.shed.Load()+tl.canceled.Load()+tl.numerical.Load(); got != want {
+	if got, want := tl.issued.Load(), tl.ok.Load()+tl.degraded.Load()+tl.shed.Load()+tl.canceled.Load()+tl.numerical.Load()+tl.mutations.Load()+tl.mutationsFailed.Load(); got != want {
 		v.addf("invariant 1: %d requests issued but only %d classified", got, want)
+	}
+	// Mutation conservation: the engine's applied counter is exactly
+	// the dataset's logical clock — no mutation double-counted, none
+	// half-applied.
+	if stats.MutationsApplied != ds.Seq() {
+		v.addf("invariant 1: engine applied %d mutations but the dataset clock reads %d",
+			stats.MutationsApplied, ds.Seq())
+	}
+
+	// Invariant 6: recovering from the on-disk pair — without closing
+	// the live log, the crash model — reproduces the acknowledged
+	// in-memory state bit-for-bit, however many injected fsync or
+	// compaction failures the storm landed.
+	rec, rerr := kregret.Recover(baseSnap, walPath)
+	switch {
+	case rerr != nil:
+		v.addf("invariant 6: recovery failed: %v", rerr)
+	case rec.Len() != ds.Len() || rec.Seq() != ds.Seq():
+		v.addf("invariant 6: recovered len/seq %d/%d, in-memory %d/%d",
+			rec.Len(), rec.Seq(), ds.Len(), ds.Seq())
+	default:
+		mismatches := 0
+		for i := 0; i < ds.Len() && mismatches < 8; i++ {
+			livePt, recPt := ds.Point(i), rec.Point(i)
+			for j := range livePt {
+				if math.Float64bits(livePt[j]) != math.Float64bits(recPt[j]) {
+					v.addf("invariant 6: recovered tuple %d differs at coordinate %d: %x vs %x",
+						i, j, math.Float64bits(recPt[j]), math.Float64bits(livePt[j]))
+					mismatches++
+					break
+				}
+			}
+		}
+	}
+	if rec != nil {
+		if cerr := rec.Close(); cerr != nil {
+			v.addf("invariant 6: closing recovered dataset: %v", cerr)
+		}
+	}
+	if cerr := ds.Close(); cerr != nil {
+		v.addf("invariant 6: closing live dataset: %v", cerr)
 	}
 	if stats.Admitted != stats.Completed+stats.Canceled+stats.ShedAtDequeue {
 		v.addf("invariant 1: pool counters do not balance: admitted %d != completed %d + canceled %d + shedAtDequeue %d",
@@ -294,22 +361,39 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	rep := &Report{
-		Seed:      cfg.Seed,
-		Issued:    tl.issued.Load(),
-		OK:        tl.ok.Load(),
-		Degraded:  tl.degraded.Load(),
-		Shed:      tl.shed.Load(),
-		Canceled:  tl.canceled.Load(),
-		Numerical: tl.numerical.Load(),
-		Stats:     stats,
+		Seed:            cfg.Seed,
+		Issued:          tl.issued.Load(),
+		OK:              tl.ok.Load(),
+		Degraded:        tl.degraded.Load(),
+		Shed:            tl.shed.Load(),
+		Canceled:        tl.canceled.Load(),
+		Numerical:       tl.numerical.Load(),
+		Mutations:       tl.mutations.Load(),
+		MutationsFailed: tl.mutationsFailed.Load(),
+		Stats:           stats,
 	}
 	return rep, v.join()
 }
 
 // issueOne sends one scripted request and classifies its outcome
 // against the invariants.
-func issueOne(ctx context.Context, eng *kregret.Engine, req Request, want *kregret.Answer, tl *tally, v *violations) {
+func issueOne(ctx context.Context, eng *kregret.Engine, req Request, want *kregret.Answer, mutPt kregret.Point, tl *tally, v *violations) {
 	tl.issued.Add(1)
+	if req.Class == ClassMutation {
+		// A durable write: the dominated insert folds a new epoch
+		// (every other one, per the rebuild threshold) under the
+		// readers' feet. Failures beyond shutdown are injected
+		// durability faults — tolerated here, settled by invariant 6.
+		switch err := eng.Apply(ctx, kregret.InsertMutation(mutPt)); {
+		case err == nil:
+			tl.mutations.Add(1)
+		case errors.Is(err, kregret.ErrShuttingDown):
+			tl.shed.Add(1)
+		default:
+			tl.mutationsFailed.Add(1)
+		}
+		return
+	}
 	qctx := ctx
 	var cancel context.CancelFunc
 	switch {

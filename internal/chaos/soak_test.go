@@ -39,9 +39,10 @@ func TestChaosSoak(t *testing.T) {
 			if rep.Issued == 0 || rep.OK == 0 {
 				t.Fatalf("soak issued %d requests with %d clean answers — the storm starved the load", rep.Issued, rep.OK)
 			}
-			t.Logf("seed %d: issued=%d ok=%d degraded=%d shed=%d canceled=%d numerical=%d retries=%d rescued=%d watchdog=%d drain=%v",
+			t.Logf("seed %d: issued=%d ok=%d degraded=%d shed=%d canceled=%d numerical=%d mutations=%d mutfail=%d retries=%d rescued=%d watchdog=%d epoch=%d drain=%v",
 				seed, rep.Issued, rep.OK, rep.Degraded, rep.Shed, rep.Canceled, rep.Numerical,
-				rep.Stats.Retries, rep.Stats.RetrySuccesses, rep.Stats.WatchdogStuck, rep.Stats.DrainDuration)
+				rep.Mutations, rep.MutationsFailed,
+				rep.Stats.Retries, rep.Stats.RetrySuccesses, rep.Stats.WatchdogStuck, rep.Stats.Epoch, rep.Stats.DrainDuration)
 		})
 	}
 }

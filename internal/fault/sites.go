@@ -71,4 +71,26 @@ const (
 	// worker panics and re-raises them on the caller's goroutine where
 	// the public panic boundary converts them to *NumericalError.
 	SiteParallelWorker = "parallel.worker"
+
+	// SiteWALAppend crashes the next wal.Log.Append mid-record: only a
+	// prefix of the frame reaches the file (the torn tail recovery must
+	// truncate away) and the log is left unusable, exactly as if the
+	// process died inside the write syscall.
+	SiteWALAppend = "wal.append"
+
+	// SiteWALSync makes the next wal.Log sync report failure; the log
+	// undoes the unsynced suffix so a mutation whose append was never
+	// acknowledged leaves no trace on disk.
+	SiteWALSync = "wal.sync"
+
+	// SiteWALRotate makes the next wal.Log.Reset (the truncation half
+	// of compaction) fail after the compacted snapshot was already
+	// published — the crash window where stale records must be skipped
+	// by their sequence numbers on replay.
+	SiteWALRotate = "wal.rotate"
+
+	// SitePersistSync makes the next snapshot temp-file fsync in
+	// SaveFile report failure, proving a failed sync removes the temp
+	// file and leaves the previous snapshot loadable.
+	SitePersistSync = "persist.sync"
 )

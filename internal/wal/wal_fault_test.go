@@ -1,0 +1,155 @@
+//go:build kregretfault
+
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestInjectedAppendCrashLeavesTornTail arms wal.append: the frame is
+// half-written (the process "died" inside the syscall), the log object
+// refuses further use, and a reopen truncates the torn residue so the
+// interrupted mutation simply never happened.
+func TestInjectedAppendCrashLeavesTornTail(t *testing.T) {
+	defer fault.Reset()
+	path := filepath.Join(t.TempDir(), "mut.wal")
+	l, _, err := Open(path, Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	first := Record{Seq: 1, Op: OpInsert, Point: []float64{0.25, 0.5}}
+	if err := l.Append(first); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	durable := l.Size()
+
+	fault.Arm(fault.SiteWALAppend, 1)
+	if err := l.Append(Record{Seq: 2, Op: OpDelete, Index: 0}); err == nil {
+		t.Fatal("armed Append succeeded, want error")
+	}
+	if fault.Fired(fault.SiteWALAppend) == 0 {
+		t.Fatal("wal.append site never fired")
+	}
+	// The torn bytes are on disk and the in-process log is unusable.
+	if fi, err := os.Stat(path); err != nil || fi.Size() <= durable {
+		t.Fatalf("no torn tail on disk: size=%v err=%v", fi, err)
+	}
+	if err := l.Append(Record{Seq: 3, Op: OpDelete, Index: 0}); !errors.Is(err, ErrLogUnusable) {
+		t.Fatalf("post-crash Append = %v, want ErrLogUnusable", err)
+	}
+	l.Close()
+
+	// "Restart": recovery truncates the torn tail and replays exactly
+	// the acknowledged history.
+	l2, recs, err := Open(path, Config{})
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	defer l2.Close()
+	sameRecords(t, recs, []Record{first})
+	if fi, err := os.Stat(path); err != nil || fi.Size() != durable {
+		t.Fatalf("torn tail not truncated: size=%v err=%v", fi, err)
+	}
+	// The interrupted mutation can be retried with the same seq — it
+	// was never acknowledged, so the seq was never consumed.
+	if err := l2.Append(Record{Seq: 2, Op: OpDelete, Index: 0}); err != nil {
+		t.Fatalf("retry Append: %v", err)
+	}
+}
+
+// TestInjectedSyncFailureUndoesSuffix arms wal.sync: the append's
+// fsync fails, the unsynced suffix is rewound away, and the log keeps
+// working — the failed mutation leaves no trace and its seq is reused.
+func TestInjectedSyncFailureUndoesSuffix(t *testing.T) {
+	defer fault.Reset()
+	path := filepath.Join(t.TempDir(), "mut.wal")
+	l, _, err := Open(path, Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	first := Record{Seq: 1, Op: OpInsert, Point: []float64{0.25, 0.5}}
+	if err := l.Append(first); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	durable := l.Size()
+
+	fault.Arm(fault.SiteWALSync, 1)
+	if err := l.Append(Record{Seq: 2, Op: OpDelete, Index: 0}); err == nil {
+		t.Fatal("armed Append succeeded, want error")
+	}
+	if fault.Fired(fault.SiteWALSync) == 0 {
+		t.Fatal("wal.sync site never fired")
+	}
+	// The rewind restored the last durable state: same size, same
+	// LastSeq, and the log is immediately usable again.
+	if got := l.Size(); got != durable {
+		t.Fatalf("Size after failed sync = %d, want %d", got, durable)
+	}
+	if got := l.LastSeq(); got != 1 {
+		t.Fatalf("LastSeq after failed sync = %d, want 1", got)
+	}
+	retry := Record{Seq: 2, Op: OpDelete, Index: 0}
+	if err := l.Append(retry); err != nil {
+		t.Fatalf("retry Append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, recs, err := Open(path, Config{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	sameRecords(t, recs, []Record{first, retry})
+}
+
+// TestInjectedRotateFailureKeepsRecords arms wal.rotate: the Reset
+// half of compaction fails, and every record is still in the log — a
+// failed truncation after the compacted snapshot was published only
+// costs disk space, never history.
+func TestInjectedRotateFailureKeepsRecords(t *testing.T) {
+	defer fault.Reset()
+	recs := testRecords()
+	path, _ := buildLog(t, recs)
+	l, _, err := Open(path, Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	fault.Arm(fault.SiteWALRotate, 1)
+	if err := l.Reset(); err == nil {
+		t.Fatal("armed Reset succeeded, want error")
+	}
+	if fault.Fired(fault.SiteWALRotate) == 0 {
+		t.Fatal("wal.rotate site never fired")
+	}
+	// Nothing was lost and the log still appends.
+	if err := l.Append(Record{Seq: 9, Op: OpDelete, Index: 0}); err != nil {
+		t.Fatalf("Append after failed Reset: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, got, err := Open(path, Config{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(got) != len(recs)+1 {
+		t.Fatalf("got %d records, want %d", len(got), len(recs)+1)
+	}
+	// A later, un-armed Reset heals the log.
+	l2, _, err := Open(path, Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l2.Close()
+	if err := l2.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if l2.Size() != headerLen {
+		t.Fatalf("Size after Reset = %d, want %d", l2.Size(), headerLen)
+	}
+}

@@ -60,6 +60,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -67,6 +68,7 @@ import (
 	"repro/internal/happy"
 	"repro/internal/parallel"
 	"repro/internal/skyline"
+	"repro/internal/wal"
 )
 
 // Point is one tuple: its coordinates on the d attributes, larger
@@ -186,6 +188,9 @@ type options struct {
 	workers    int
 	fallback   bool
 	pruning    bool
+	walPath    string
+	walSnap    string
+	syncEvery  int
 }
 
 func defaultOptions() options {
@@ -239,13 +244,43 @@ func WithPruning(on bool) Option { return func(o *options) { o.pruning = on } }
 // measuring the algorithms themselves).
 func WithoutFallback() Option { return func(o *options) { o.fallback = false } }
 
-// Dataset is an immutable collection of tuples prepared for k-regret
-// queries. Candidate sets (skyline, happy, hull) are computed lazily,
-// each behind its own sync.Once, so a Dataset is safe for concurrent
-// use by multiple goroutines from the moment NewDataset returns —
-// concurrent first calls simply share one computation.
+// Dataset is a collection of tuples prepared for k-regret queries.
+// Reads are served from an immutable epoch: the points plus their
+// lazily computed candidate sets (skyline, happy, hull), each behind
+// its own sync.Once, so a Dataset is safe for concurrent use by
+// multiple goroutines from the moment NewDataset returns — concurrent
+// first calls simply share one computation.
+//
+// Insert and Delete mutate by copy-on-write: each publishes a fresh
+// epoch atomically, so readers that started earlier keep computing on
+// the epoch they loaded and never observe a half-applied mutation.
+// With WithWAL, every mutation is appended to a write-ahead log (and
+// fsynced) before it is applied, and Recover rebuilds the exact
+// pre-crash state from the last snapshot plus the log.
 type Dataset struct {
+	workers int
+	pruning bool
+
+	// state is the current epoch. Readers load it once per operation
+	// (see snap) and do all their work against that one epoch.
+	state atomic.Pointer[dsState]
+
+	// muMut serializes mutations: WAL append order, sequence numbers
+	// and epoch publication all agree because only one mutation is in
+	// flight at a time.
+	muMut     sync.Mutex
+	wal       *wal.Log // nil without WithWAL
+	walSnap   string   // dataset snapshot path for Compact
+	walClosed bool     // Close was called; mutations return ErrClosed
+}
+
+// dsState is one immutable epoch of a Dataset: the points plus every
+// lazily computed candidate-set cache. A published state is never
+// modified again — mutations build a new one — so the caches stay
+// valid for as long as any reader holds the epoch.
+type dsState struct {
 	pts     []geom.Vector
+	seq     uint64 // last mutation folded into this epoch
 	workers int
 	pruning bool
 
@@ -264,6 +299,38 @@ type Dataset struct {
 	convOnce sync.Once
 	conv     []int
 	convErr  error
+}
+
+func newState(pts []geom.Vector, seq uint64, workers int, pruning bool) *dsState {
+	return &dsState{pts: pts, seq: seq, workers: workers, pruning: pruning}
+}
+
+// snap returns the current epoch. Every public operation loads it
+// exactly once and works against that one state, so a concurrent
+// mutation can never split a query across two epochs.
+func (d *Dataset) snap() *dsState { return d.state.Load() }
+
+// newDatasetFromVectors finishes Dataset construction from validated,
+// already-normalized vectors (shared by NewDataset and Recover).
+func newDatasetFromVectors(pts []geom.Vector, seq uint64, o options) *Dataset {
+	d := &Dataset{workers: o.workers, pruning: o.pruning}
+	d.state.Store(newState(pts, seq, o.workers, o.pruning))
+	return d
+}
+
+// validateVectors checks the dataset invariants every epoch must hold:
+// uniform dimension, finite and strictly positive coordinates.
+func validateVectors(pts []geom.Vector) error {
+	d := len(pts[0])
+	for i, p := range pts {
+		if len(p) != d {
+			return fmt.Errorf("kregret: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		if !p.IsFinite() || !p.AllPositive() {
+			return fmt.Errorf("kregret: point %d (%v) must be finite and strictly positive (use normalization or shift your data)", i, p)
+		}
+	}
+	return nil
 }
 
 // NewDataset validates and (by default) normalizes the tuples so
@@ -288,128 +355,162 @@ func NewDataset(points []Point, opts ...Option) (*Dataset, error) {
 		}
 		pts = norm
 	}
-	d := len(pts[0])
-	for i, p := range pts {
-		if len(p) != d {
-			return nil, fmt.Errorf("kregret: point %d has dimension %d, want %d", i, len(p), d)
-		}
-		if !p.IsFinite() || !p.AllPositive() {
-			return nil, fmt.Errorf("kregret: point %d (%v) must be finite and strictly positive (use normalization or shift your data)", i, p)
+	if err := validateVectors(pts); err != nil {
+		return nil, err
+	}
+	d := newDatasetFromVectors(pts, 0, o)
+	if o.walPath != "" {
+		if err := d.attachWAL(o); err != nil {
+			return nil, err
 		}
 	}
-	return &Dataset{pts: pts, workers: o.workers, pruning: o.pruning}, nil
+	return d, nil
 }
 
-// evalIndex lazily builds the dataset's evaluation index: the points
+// evalIndex lazily builds the epoch's evaluation index: the points
 // flattened into one contiguous matrix plus (with pruning on) the
 // skyline as the extreme set the evaluators scan. Built once behind a
 // sync.Once; concurrent first callers share the computation, and the
-// skyline itself is reused from — or seeds — the Skyline cache.
-func (d *Dataset) evalIndex() (*core.EvalIndex, error) {
-	d.evalOnce.Do(func() {
-		x, err := core.NewEvalIndex(d.pts)
+// skyline itself is reused from — or seeds — the skyline cache.
+func (s *dsState) evalIndex() (*core.EvalIndex, error) {
+	s.evalOnce.Do(func() {
+		x, err := core.NewEvalIndex(s.pts)
 		if err != nil {
-			d.evalErr = fmt.Errorf("kregret: %w", err)
+			s.evalErr = fmt.Errorf("kregret: %w", err)
 			return
 		}
-		if d.pruning {
-			sky, err := d.Skyline()
+		if s.pruning {
+			sky, err := s.skyline()
 			if err != nil {
-				d.evalErr = err
+				s.evalErr = err
 				return
 			}
 			if err := x.SetExtreme(sky); err != nil {
-				d.evalErr = fmt.Errorf("kregret: %w", err)
+				s.evalErr = fmt.Errorf("kregret: %w", err)
 				return
 			}
 		}
-		d.eval = x
+		s.eval = x
 	})
-	return d.eval, d.evalErr
+	return s.eval, s.evalErr
 }
 
 // seedSkyline installs precomputed skyline indices (from a snapshot)
-// into the lazy cache, so loading an index does not recompute the
-// skyline pass. A no-op if the skyline was already computed.
+// into the current epoch's lazy cache, so loading an index does not
+// recompute the skyline pass. A no-op if the skyline was already
+// computed.
 func (d *Dataset) seedSkyline(sky []int) {
-	d.skyOnce.Do(func() {
-		d.sky = append([]int(nil), sky...)
+	s := d.snap()
+	s.skyOnce.Do(func() {
+		s.sky = append([]int(nil), sky...)
 	})
 }
 
 // Len returns the number of tuples.
-func (d *Dataset) Len() int { return len(d.pts) }
+func (d *Dataset) Len() int { return len(d.snap().pts) }
 
 // Dim returns the number of attributes.
-func (d *Dataset) Dim() int { return len(d.pts[0]) }
+func (d *Dataset) Dim() int { return len(d.snap().pts[0]) }
 
 // Point returns the (normalized) coordinates of tuple i.
 func (d *Dataset) Point(i int) Point {
-	return Point(d.pts[i].Clone())
+	return Point(d.snap().pts[i].Clone())
+}
+
+// skyline returns the epoch's cached skyline indices (shared, not
+// copied — callers must not modify the slice).
+func (s *dsState) skyline() ([]int, error) {
+	s.skyOnce.Do(func() {
+		if parallel.Resolve(s.workers) == 1 {
+			s.sky, s.skyErr = skyline.Of(s.pts)
+		} else {
+			s.sky, s.skyErr = skyline.ComputeParallel(s.pts, s.workers)
+		}
+		if s.skyErr != nil {
+			s.skyErr = fmt.Errorf("kregret: %w", s.skyErr)
+		}
+	})
+	if s.skyErr != nil {
+		return nil, s.skyErr
+	}
+	return s.sky, nil
 }
 
 // Skyline returns the indices of the skyline tuples (not dominated by
-// any other tuple), computed once and cached; concurrent callers
-// share the computation.
+// any other tuple), computed once per epoch and cached; concurrent
+// callers share the computation.
 func (d *Dataset) Skyline() ([]int, error) {
-	d.skyOnce.Do(func() {
-		if parallel.Resolve(d.workers) == 1 {
-			d.sky, d.skyErr = skyline.Of(d.pts)
-		} else {
-			d.sky, d.skyErr = skyline.ComputeParallel(d.pts, d.workers)
+	sky, err := d.snap().skyline()
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), sky...), nil
+}
+
+// happyPoints returns the epoch's cached happy indices (shared, not
+// copied).
+func (s *dsState) happyPoints() ([]int, error) {
+	s.happyOnce.Do(func() {
+		sky, err := s.skyline()
+		if err != nil {
+			s.happyErr = err
+			return
 		}
-		if d.skyErr != nil {
-			d.skyErr = fmt.Errorf("kregret: %w", d.skyErr)
+		if parallel.Resolve(s.workers) == 1 {
+			s.happy = happy.ComputeAmongSkyline(s.pts, sky)
+		} else {
+			s.happy = happy.ComputeAmongSkylineParallel(s.pts, sky, s.workers)
 		}
 	})
-	if d.skyErr != nil {
-		return nil, d.skyErr
+	if s.happyErr != nil {
+		return nil, s.happyErr
 	}
-	return append([]int(nil), d.sky...), nil
+	return s.happy, nil
 }
 
 // HappyPoints returns the indices of the happy tuples — the paper's
 // candidate set, a subset of the skyline that still contains an
-// optimal answer for every k (Lemma 2) — computed once and cached;
-// concurrent callers share the computation.
+// optimal answer for every k (Lemma 2) — computed once per epoch and
+// cached; concurrent callers share the computation.
 func (d *Dataset) HappyPoints() ([]int, error) {
-	d.happyOnce.Do(func() {
-		if _, err := d.Skyline(); err != nil {
-			d.happyErr = err
+	h, err := d.snap().happyPoints()
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), h...), nil
+}
+
+// convexPoints returns the epoch's cached hull-extreme indices
+// (shared, not copied).
+func (s *dsState) convexPoints() ([]int, error) {
+	s.convOnce.Do(func() {
+		h, err := s.happyPoints()
+		if err != nil {
+			s.convErr = err
 			return
 		}
-		if parallel.Resolve(d.workers) == 1 {
-			d.happy = happy.ComputeAmongSkyline(d.pts, d.sky)
-		} else {
-			d.happy = happy.ComputeAmongSkylineParallel(d.pts, d.sky, d.workers)
+		conv, err := core.ConvexAmongHappy(s.pts, h)
+		if err != nil {
+			s.convErr = fmt.Errorf("kregret: %w", err)
+			return
 		}
+		s.conv = conv
 	})
-	if d.happyErr != nil {
-		return nil, d.happyErr
+	if s.convErr != nil {
+		return nil, s.convErr
 	}
-	return append([]int(nil), d.happy...), nil
+	return s.conv, nil
 }
 
 // ConvexPoints returns the indices of the tuples that are extreme
-// points of the convex hull (D_conv in the paper), computed once and
-// cached; concurrent callers share the computation.
+// points of the convex hull (D_conv in the paper), computed once per
+// epoch and cached; concurrent callers share the computation.
 func (d *Dataset) ConvexPoints() ([]int, error) {
-	d.convOnce.Do(func() {
-		if _, err := d.HappyPoints(); err != nil {
-			d.convErr = err
-			return
-		}
-		conv, err := core.ConvexAmongHappy(d.pts, d.happy)
-		if err != nil {
-			d.convErr = fmt.Errorf("kregret: %w", err)
-			return
-		}
-		d.conv = conv
-	})
-	if d.convErr != nil {
-		return nil, d.convErr
+	conv, err := d.snap().convexPoints()
+	if err != nil {
+		return nil, err
 	}
-	return append([]int(nil), d.conv...), nil
+	return append([]int(nil), conv...), nil
 }
 
 // Answer is the result of a k-regret query.
@@ -433,16 +534,16 @@ type Answer struct {
 	FallbackReason string
 }
 
-// candidateIndices resolves the configured candidate set to dataset
+// candidateIndices resolves the configured candidate set to epoch
 // indices.
-func (d *Dataset) candidateIndices(c CandidateSet) ([]int, error) {
+func (s *dsState) candidateIndices(c CandidateSet) ([]int, error) {
 	switch c {
 	case CandidatesHappy:
-		return d.HappyPoints()
+		return s.happyPoints()
 	case CandidatesSkyline:
-		return d.Skyline()
+		return s.skyline()
 	case CandidatesAll:
-		idx := make([]int, len(d.pts))
+		idx := make([]int, len(s.pts))
 		for i := range idx {
 			idx[i] = i
 		}
@@ -478,11 +579,12 @@ func (d *Dataset) QueryContext(ctx context.Context, k int, opts ...Option) (*Ans
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("kregret: query canceled: %w", err)
 	}
-	cand, err := d.candidateIndices(o.candidates)
+	st := d.snap()
+	cand, err := st.candidateIndices(o.candidates)
 	if err != nil {
 		return nil, err
 	}
-	candPts, err := core.Select(d.pts, cand)
+	candPts, err := core.Select(st.pts, cand)
 	if err != nil {
 		return nil, fmt.Errorf("kregret: %w", err)
 	}
@@ -674,7 +776,7 @@ func (d *Dataset) EvaluateMRR(selection []int) (float64, error) {
 // support scan fans out over the dataset's parallelism (see
 // WithParallelism); the result is identical for every width.
 func (d *Dataset) EvaluateMRRContext(ctx context.Context, selection []int) (float64, error) {
-	x, err := d.evalIndex()
+	x, err := d.snap().evalIndex()
 	if err != nil {
 		return 0, err
 	}
@@ -699,7 +801,7 @@ func (d *Dataset) RegretOf(selection []int, weights Point) (float64, error) {
 	if err := d.validateWeights(weights); err != nil {
 		return 0, err
 	}
-	x, err := d.evalIndex()
+	x, err := d.snap().evalIndex()
 	if err != nil {
 		return 0, err
 	}
@@ -743,7 +845,7 @@ func (d *Dataset) AverageRegret(selection []int, samples int, seed int64) (float
 // AverageRegretContext is AverageRegret bounded by a context (see
 // QueryContext for the cancellation granularity).
 func (d *Dataset) AverageRegretContext(ctx context.Context, selection []int, samples int, seed int64) (float64, error) {
-	x, err := d.evalIndex()
+	x, err := d.snap().evalIndex()
 	if err != nil {
 		return 0, err
 	}
@@ -767,7 +869,7 @@ func (d *Dataset) WorstUtility(selection []int) (weights Point, witness int, err
 // fans out over the dataset's parallelism (see WithParallelism); the
 // answer is identical for every width.
 func (d *Dataset) WorstUtilityContext(ctx context.Context, selection []int) (weights Point, witness int, err error) {
-	x, err := d.evalIndex()
+	x, err := d.snap().evalIndex()
 	if err != nil {
 		return nil, -1, err
 	}
@@ -826,11 +928,13 @@ func (d *Dataset) BuildIndexUpToContext(ctx context.Context, maxK int) (*Index, 
 }
 
 func (d *Dataset) buildIndex(ctx context.Context, maxK int) (*Index, error) {
-	cand, err := d.HappyPoints()
+	st := d.snap()
+	hp, err := st.happyPoints()
 	if err != nil {
 		return nil, err
 	}
-	candPts, err := core.Select(d.pts, cand)
+	cand := append([]int(nil), hp...)
+	candPts, err := core.Select(st.pts, cand)
 	if err != nil {
 		return nil, fmt.Errorf("kregret: %w", err)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/geom"
 )
 
 // Errors returned by the persistence layer.
@@ -84,14 +85,15 @@ const indexVersion = 2
 // means rewriting the entry on this line, which is where the version
 // bump and the decoder's compat path get reviewed together.
 var wireManifest = map[string]string{
-	"indexWire": "v2 Version int; Checksum uint64; N int; Dim int; Cand []int; Ext []int",
+	"indexWire":   "v2 Version int; Checksum uint64; N int; Dim int; Cand []int; Ext []int",
+	"datasetWire": "v1 Version int; Seq uint64; N int; Dim int; Coords []float64",
 }
 
 // checksum fingerprints the (normalized) dataset contents.
 func (d *Dataset) checksum() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
-	for _, p := range d.pts {
+	for _, p := range d.snap().pts {
 		for _, x := range p {
 			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
 			//kregret:allow errdrop: hash.Hash.Write never returns an error
@@ -249,7 +251,7 @@ func (x *Index) SaveFile(path string, d *Dataset) error {
 	if err := x.Save(tmp, d); err != nil {
 		return errors.Join(err, tmp.Close(), os.Remove(tmp.Name()))
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := syncTemp(tmp); err != nil {
 		err = fmt.Errorf("kregret: syncing index snapshot: %w", err)
 		return errors.Join(err, tmp.Close(), os.Remove(tmp.Name()))
 	}
@@ -268,6 +270,17 @@ func (x *Index) SaveFile(path string, d *Dataset) error {
 		tearFile(path)
 	}
 	return nil
+}
+
+// syncTemp fsyncs a snapshot temp file, honoring the persist.sync
+// fault site: an injected failure behaves exactly like a full disk or
+// a dying device reporting the fsync error, and the caller's cleanup
+// must remove the temp file and leave the previous snapshot loadable.
+func syncTemp(f *os.File) error {
+	if fault.Enabled && fault.Active(fault.SitePersistSync) {
+		return errors.New("fsync failed (injected)")
+	}
+	return f.Sync()
 }
 
 // syncDir fsyncs a directory so the rename that published a snapshot
@@ -310,4 +323,141 @@ func LoadFile(path string, d *Dataset) (*Index, error) {
 		return nil, fmt.Errorf("kregret: closing index snapshot: %w", cerr)
 	}
 	return idx, err
+}
+
+// ErrCorruptSnapshot is returned by Recover (via loadDatasetFile)
+// when the dataset base snapshot bytes are damaged — truncated,
+// bit-flipped, or not a dataset snapshot at all. Like ErrCorruptIndex
+// it is always a typed error, never a panic or a silently-wrong
+// dataset.
+var ErrCorruptSnapshot = errors.New("kregret: corrupt dataset snapshot")
+
+// Dataset base snapshot format v1 — the durable half of the
+// (snapshot, WAL) pair behind WithWAL/Recover. Same framing as index
+// snapshots, with its own magic:
+//
+//	offset 0  magic "KRGD" (4 bytes)
+//	       4  format version (1 byte, currently 1)
+//	       5  payload length (uint64 little-endian)
+//	      13  payload: gob(datasetWire)
+//	  13+len  CRC-32C over bytes [0, 13+len) (uint32 little-endian)
+const (
+	dsSnapMagic   = "KRGD"
+	dsSnapVersion = 1
+)
+
+// datasetWire is the gob envelope of a dataset base snapshot: the
+// (already normalized) points flattened row-major, plus the sequence
+// number of the last mutation folded in — the watermark Recover's
+// replay skips WAL records by.
+type datasetWire struct {
+	Version int
+	Seq     uint64
+	N, Dim  int
+	Coords  []float64
+}
+
+const datasetWireVersion = 1
+
+// saveDatasetFile writes st as a base snapshot to path with the same
+// crash-safe protocol as Index.SaveFile: temp file in the target
+// directory, fsync (the persist.sync fault site), atomic rename, and
+// a directory sync. A failure at any step removes the temp file and
+// leaves a previous snapshot at path untouched.
+func saveDatasetFile(path string, st *dsState) error {
+	wire := datasetWire{
+		Version: datasetWireVersion,
+		Seq:     st.seq,
+		N:       len(st.pts),
+		Dim:     len(st.pts[0]),
+		Coords:  make([]float64, 0, len(st.pts)*len(st.pts[0])),
+	}
+	for _, p := range st.pts {
+		wire.Coords = append(wire.Coords, p...)
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(wire); err != nil {
+		return fmt.Errorf("kregret: saving dataset snapshot: %w", err)
+	}
+	frame := make([]byte, snapshotHdrLen, snapshotHdrLen+payload.Len()+4)
+	copy(frame, dsSnapMagic)
+	frame[4] = dsSnapVersion
+	binary.LittleEndian.PutUint64(frame[5:], uint64(payload.Len()))
+	frame = append(frame, payload.Bytes()...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(frame, snapshotCRC))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".kregret-dataset-*")
+	if err != nil {
+		return fmt.Errorf("kregret: saving dataset snapshot: %w", err)
+	}
+	if _, err := tmp.Write(frame); err != nil {
+		err = fmt.Errorf("kregret: saving dataset snapshot: %w", err)
+		return errors.Join(err, tmp.Close(), os.Remove(tmp.Name()))
+	}
+	if err := syncTemp(tmp); err != nil {
+		err = fmt.Errorf("kregret: syncing dataset snapshot: %w", err)
+		return errors.Join(err, tmp.Close(), os.Remove(tmp.Name()))
+	}
+	if err := tmp.Close(); err != nil {
+		err = fmt.Errorf("kregret: closing dataset snapshot: %w", err)
+		return errors.Join(err, os.Remove(tmp.Name()))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		err = fmt.Errorf("kregret: publishing dataset snapshot: %w", err)
+		return errors.Join(err, os.Remove(tmp.Name()))
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("kregret: syncing snapshot directory: %w", err)
+	}
+	if fault.Enabled && fault.Active(fault.SitePersistTornWrite) {
+		tearFile(path)
+	}
+	return nil
+}
+
+// loadDatasetFile reads a base snapshot back: the points and the
+// sequence watermark. Any framing, integrity or structural violation
+// is ErrCorruptSnapshot; a missing file is the underlying fs error.
+func loadDatasetFile(path string) ([]geom.Vector, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("kregret: loading dataset snapshot: %w", err)
+	}
+	if len(data) < snapshotHdrLen+4 {
+		return nil, 0, fmt.Errorf("%w: %d bytes is shorter than the frame", ErrCorruptSnapshot, len(data))
+	}
+	if string(data[:4]) != dsSnapMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorruptSnapshot, data[:4])
+	}
+	if v := data[4]; v != dsSnapVersion {
+		return nil, 0, fmt.Errorf("kregret: dataset snapshot format v%d, want v%d", v, dsSnapVersion)
+	}
+	n := binary.LittleEndian.Uint64(data[5:])
+	if n > maxSnapshotPayload || snapshotHdrLen+n+4 != uint64(len(data)) {
+		return nil, 0, fmt.Errorf("%w: payload length %d does not match file size %d", ErrCorruptSnapshot, n, len(data))
+	}
+	body := data[:len(data)-4]
+	stored := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc := crc32.Checksum(body, snapshotCRC); stored != crc {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrCorruptSnapshot, stored, crc)
+	}
+	var wire datasetWire
+	if err := gob.NewDecoder(bytes.NewReader(body[snapshotHdrLen:])).Decode(&wire); err != nil {
+		return nil, 0, fmt.Errorf("%w: decoding payload: %v", ErrCorruptSnapshot, err)
+	}
+	if wire.Version != datasetWireVersion {
+		return nil, 0, fmt.Errorf("kregret: dataset snapshot payload v%d, want v%d", wire.Version, datasetWireVersion)
+	}
+	if wire.N < 1 || wire.Dim < 1 || len(wire.Coords) != wire.N*wire.Dim {
+		return nil, 0, fmt.Errorf("%w: %d coordinates for %d×%d points", ErrCorruptSnapshot, len(wire.Coords), wire.N, wire.Dim)
+	}
+	pts := make([]geom.Vector, wire.N)
+	for i := range pts {
+		pts[i] = geom.Vector(wire.Coords[i*wire.Dim : (i+1)*wire.Dim : (i+1)*wire.Dim])
+	}
+	if err := validateVectors(pts); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	return pts, wire.Seq, nil
 }

@@ -219,7 +219,7 @@ func TestPerturbedDeterministicAndTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts := ds.pts
+	pts := ds.snap().pts
 	a, b := perturbed(pts), perturbed(pts)
 	for i := range a {
 		for j := range a[i] {
