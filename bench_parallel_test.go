@@ -123,6 +123,44 @@ func BenchmarkPaper(b *testing.B) {
 			happy.ComputeAmongSkylineParallel(pts, sky, w)
 		}
 	})
+	b.Run("PreprocessFold", func(b *testing.B) {
+		// The delta-maintenance counterpart of Preprocess: one
+		// insert+delete round-trip on a dataset whose candidate caches
+		// are warm, so each mutation patches the cached skyline and
+		// happy certificate through the epoch fold (DESIGN.md §16)
+		// instead of recomputing them. The reads after each pair are
+		// the serving path — they must find the successor epoch
+		// pre-seeded. Includes the O(n) copy-on-write point clone, the
+		// price of epoch isolation.
+		ds, err := NewDataset(vecsToPoints(pts), WithoutNormalization(), WithParallelism(w))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ds.Skyline(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ds.HappyPoints(); err != nil {
+			b.Fatal(err)
+		}
+		probe := append(Point(nil), pts[0]...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx, err := ds.Insert(probe)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ds.Delete(idx); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ds.Skyline(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ds.HappyPoints(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("Greedy", func(b *testing.B) {
 		// Greedy is LP-per-candidate and would take minutes at 100k;
 		// bench a fixed-size slice so the suite stays minutes-total

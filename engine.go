@@ -683,8 +683,9 @@ func DeleteMutation(i int) Mutation { return Mutation{index: i} }
 
 // Apply durably applies mutations to the engine's dataset and, once
 // WithRebuildThreshold mutations have accumulated, folds them into a
-// fresh serving epoch: candidate caches are rebuilt lazily for the
-// new generation, the index (WithSnapshot) is rebuilt eagerly, and
+// fresh serving epoch: warm candidate caches arrive pre-seeded by the
+// per-mutation incremental fold (DESIGN.md §16; cold caches stay cold
+// and compute lazily), the index (WithSnapshot) is rebuilt eagerly, and
 // the epoch pointer is swapped atomically — queries already running
 // finish on the old epoch, new queries see the fold. After the swap
 // the engine persists best-effort: the rebuilt index is written back

@@ -1,0 +1,187 @@
+package kregret
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// incrementalGens mirrors the paper's three workload families.
+var incrementalGens = []struct {
+	name string
+	fn   func(n, d int, seed int64) ([]geom.Vector, error)
+}{
+	{"independent", dataset.Independent},
+	{"correlated", dataset.Correlated},
+	{"anticorrelated", dataset.AntiCorrelated},
+}
+
+func vecsToPoints(vs []geom.Vector) []Point {
+	out := make([]Point, len(vs))
+	for i, v := range vs {
+		out[i] = append(Point(nil), v...)
+	}
+	return out
+}
+
+// TestIncrementalFoldMatchesFromScratch is the end-to-end differential
+// for delta maintenance: warm a dataset's skyline/happy caches, drive
+// randomized insert/delete sequences (which patch the caches via the
+// epoch fold instead of recomputing), and after every mutation compare
+// Skyline() and HappyPoints() against a FRESH dataset built from the
+// same points. Equality is exact — same indices, and the underlying
+// points bit-identical per math.Float64bits.
+func TestIncrementalFoldMatchesFromScratch(t *testing.T) {
+	for _, g := range incrementalGens {
+		for d := 2; d <= 6; d++ {
+			pool, err := g.fn(200, d, int64(d*17+len(g.name)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := NewDataset(vecsToPoints(pool[:70]), WithoutNormalization())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool = pool[70:]
+			// Warm both caches so every later mutation takes the fold.
+			if _, err := ds.Skyline(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ds.HappyPoints(); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(d * 5)))
+			for step := 0; step < 60; step++ {
+				if len(pool) > 0 && (ds.Len() < 15 || rng.Intn(2) == 0) {
+					if _, err := ds.Insert(Point(pool[0])); err != nil {
+						t.Fatal(err)
+					}
+					pool = pool[1:]
+				} else {
+					if err := ds.Delete(rng.Intn(ds.Len())); err != nil {
+						t.Fatal(err)
+					}
+				}
+				cur := make([]Point, ds.Len())
+				for i := range cur {
+					cur[i] = ds.Point(i)
+				}
+				fresh, err := NewDataset(cur, WithoutNormalization())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range cur {
+					fp := fresh.Point(i)
+					for j := range cur[i] {
+						if math.Float64bits(cur[i][j]) != math.Float64bits(fp[j]) {
+							t.Fatalf("%s d=%d step %d: point %d coord %d bits differ", g.name, d, step, i, j)
+						}
+					}
+				}
+				incSky, err := ds.Skyline()
+				if err != nil {
+					t.Fatal(err)
+				}
+				freshSky, err := fresh.Skyline()
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalIndexSets(t, g.name+" skyline", step, incSky, freshSky)
+				incHappy, err := ds.HappyPoints()
+				if err != nil {
+					t.Fatal(err)
+				}
+				freshHappy, err := fresh.HappyPoints()
+				if err != nil {
+					t.Fatal(err)
+				}
+				equalIndexSets(t, g.name+" happy", step, incHappy, freshHappy)
+			}
+		}
+	}
+}
+
+func equalIndexSets(t *testing.T, ctxt string, step int, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s step %d: |%d| vs |%d|\nincremental %v\nfrom-scratch %v", ctxt, step, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s step %d: [%d] = %d, want %d", ctxt, step, i, got[i], want[i])
+		}
+	}
+}
+
+// TestIncrementalFoldColdCachesStayCold: the epoch fold must never
+// trigger computation the previous epoch didn't already pay for — a
+// mutation on a cold dataset leaves the successor cold too.
+func TestIncrementalFoldColdCachesStayCold(t *testing.T) {
+	ds := mutGrid(t)
+	if _, err := ds.Insert(Point{0.7, 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	st := ds.snap()
+	if st.skyDone.Load() || st.happyDone.Load() {
+		t.Fatal("mutation on a cold dataset seeded successor caches")
+	}
+	// Now warm and mutate: the successor must arrive pre-seeded, with
+	// the certificate invariant Wit ∈ Sky ∪ {-1} intact.
+	if _, err := ds.HappyPoints(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Insert(Point{0.85, 0.85}); err != nil {
+		t.Fatal(err)
+	}
+	st = ds.snap()
+	if !st.skyDone.Load() || !st.happyDone.Load() {
+		t.Fatal("mutation on a warm dataset did not seed successor caches")
+	}
+	inSky := make(map[int]bool, len(st.cert.Sky))
+	for _, s := range st.cert.Sky {
+		inSky[s] = true
+	}
+	for i, w := range st.cert.Wit {
+		if w != -1 && (!inSky[int(w)] || int(w) == st.cert.Sky[i]) {
+			t.Fatalf("seeded certificate violates witness invariant: wit[%d]=%d sky=%v", i, w, st.cert.Sky)
+		}
+	}
+}
+
+// TestIncrementalFoldSnapshotIsolation: a Snapshot taken before a
+// mutation keeps serving the old epoch's sets, bit-for-bit, while the
+// live dataset folds forward.
+func TestIncrementalFoldSnapshotIsolation(t *testing.T) {
+	ds := mutGrid(t)
+	if _, err := ds.HappyPoints(); err != nil {
+		t.Fatal(err)
+	}
+	snap := ds.Snapshot()
+	beforeSky, err := snap.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeHappy, err := snap.HappyPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Insert(Point{0.95, 0.95}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	afterSky, err := snap.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterHappy, err := snap.HappyPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalIndexSets(t, "snapshot skyline", 0, afterSky, beforeSky)
+	equalIndexSets(t, "snapshot happy", 0, afterHappy, beforeHappy)
+}

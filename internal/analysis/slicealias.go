@@ -373,6 +373,33 @@ func checkMatRowFunc(pass *Pass, fn *ast.FuncDecl) {
 						"%s stores a PointMatrix.Row view in a composite literal; copy the row instead", fn.Name.Name)
 				}
 			}
+		case *ast.FuncLit:
+			// The kernel-block discipline (internal/mat): a Row view is
+			// consume-immediately — capturing one in a closure lets it
+			// escape its window (sort comparators run later, parallel
+			// bodies run concurrently, and a rebuild of the matrix
+			// backing would leave the closure reading freed rows).
+			// Calling Row inside the closure is fine: the view is then
+			// taken fresh at run time, inside the closure's own scope.
+			for obj := range views {
+				if obj.Pos() >= n.Pos() && obj.Pos() < n.End() {
+					continue // the closure's own local, tracked separately
+				}
+				captured, reported := obj, false
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					if _, nested := m.(*ast.FuncLit); nested {
+						return false // reported when the walk reaches the nested literal
+					}
+					id, ok := m.(*ast.Ident)
+					if !ok || reported || info.Uses[id] != captured {
+						return !reported
+					}
+					reported = true
+					pass.Reportf(id.Pos(),
+						"%s captures a PointMatrix.Row view in a closure; views are consume-immediately — copy the row before the closure, or call Row inside it", fn.Name.Name)
+					return false
+				})
+			}
 		}
 		return true
 	})

@@ -116,6 +116,40 @@ func mutableMatrix(m *Matrix, src []float64) {
 	copy(m.Row(2), src)
 }
 
+// closureCaptures captures a view in a func literal — the kernel-block
+// discipline says views are consume-immediately, and a closure (sort
+// comparator, goroutine body, deferred cleanup) runs outside that
+// window, possibly after the backing matrix has been rebuilt.
+func closureCaptures(m *PointMatrix, idx []int) {
+	v := m.Row(0)
+	less := func(i, j int) bool {
+		return v[idx[i]] < v[idx[j]] // want: slicealias
+	}
+	_ = less
+}
+
+// closureCapturesDeferred leaks the view into a deferred closure that
+// runs after the sweep has moved on.
+func closureCapturesDeferred(m *PointMatrix) {
+	v := m.Row(1)
+	defer func() {
+		_ = v[0] // want: slicealias
+	}()
+}
+
+// closureFreshRow is the sanctioned form: the closure calls Row itself,
+// taking the view fresh inside its own scope, and a copied block
+// summary (plain []float64 scratch owned by the sweep) may be captured
+// freely.
+func closureFreshRow(m *PointMatrix, idx []int) {
+	summary := make([]float64, len(m.Row(0)))
+	copy(summary, m.Row(0))
+	less := func(i, j int) bool {
+		return m.Row(idx[i])[0] < summary[j]
+	}
+	_ = less
+}
+
 // allowedEscape shows the reviewed-exception hatch.
 func allowedEscape(m *PointMatrix) []float64 {
 	return m.Row(0) //kregret:allow slicealias: caller is the matrix owner and reads only

@@ -229,9 +229,16 @@ func (x *EvalIndex) sampledRegrets(ctx context.Context, sel []int, samples int, 
 	}
 	d := len(x.pts[0])
 	rng := rand.New(rand.NewSource(seed))
+	// One flat backing for all sample vectors, returned to the pool on
+	// exit: the per-sample utilities are read-only once drawn and never
+	// outlive this call.
+	wbuf := floatScratch(samples * d)
+	defer putFloatScratch(wbuf)
 	ws := make([]geom.Vector, samples)
 	for s := range ws {
-		ws[s] = randomUtility(rng, d)
+		w := geom.Vector(wbuf[s*d : (s+1)*d])
+		randomUtilityInto(rng, w)
+		ws[s] = w
 	}
 	regrets := floatScratch(samples)
 	err := parallel.For(ctx, samples, workers, 1, func(start, end int) error {

@@ -164,6 +164,14 @@ func RegretOf(pts []geom.Vector, sel []int, w geom.Vector) (float64, error) {
 // components, normalized).
 func randomUtility(rng *rand.Rand, d int) geom.Vector {
 	w := make(geom.Vector, d)
+	randomUtilityInto(rng, w)
+	return w
+}
+
+// randomUtilityInto is randomUtility writing into caller-provided
+// storage — the sampled evaluators draw thousands per call and pool
+// one flat backing instead.
+func randomUtilityInto(rng *rand.Rand, w geom.Vector) {
 	for {
 		var norm float64
 		for j := range w {
@@ -175,7 +183,7 @@ func randomUtility(rng *rand.Rand, d int) geom.Vector {
 			for j := range w {
 				w[j] /= norm
 			}
-			return w
+			return
 		}
 	}
 }

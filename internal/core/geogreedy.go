@@ -83,14 +83,12 @@ const scanBatch = 4096
 var (
 	// grainSupport covers the one-time assignment scan's dual-hull
 	// support evaluations. The kernel is heavy per item (a dot
-	// product per hull vertex per candidate), but it runs once per
-	// query while the scan itself is batched (scanBatch) and
-	// cache-hot; profiled against the k-iteration loop it is a
-	// single-digit share of a GeoGreedy query, so the grain is sized
-	// for six-figure sweeps — below two grains the scan runs inline
-	// and narrow machines skip the fan-out latency entirely
-	// (BENCH_51b6548.json recorded 0.96x from exactly that overhead).
-	grainSupport = 65536
+	// product per hull vertex per candidate), so chunks amortize
+	// scheduling quickly; 16384 lets the paper-scale n=100k scan fan
+	// out (the previous 65536 kept it inline — one of the two causes
+	// of the sub-1.0x parallel speedups in BENCH_51b6548) while
+	// test-sized sweeps still run inline below two grains.
+	grainSupport = 16384
 	// grainRelocate covers the per-iteration relocation pass. Most
 	// iterations touch only the few candidates whose best face was
 	// capped, so the per-item work is a cheap guard plus an
@@ -98,11 +96,11 @@ var (
 	// in scheduling than they save, and sweeps under two grains run
 	// inline — which is what keeps the k-iteration loop from paying
 	// goroutine latency k times on narrow machines.
-	grainRelocate = 65536
+	grainRelocate = 16384
 	// grainReduce covers pure loads/compares over cached candidate
 	// state (the argmax reductions); same inline reasoning as
 	// grainRelocate.
-	grainReduce = 65536
+	grainReduce = 16384
 )
 
 // candState caches, for one unselected candidate, the dual vertex
@@ -132,11 +130,16 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 
 	// Flat copy of the candidates: the support scans and re-location
 	// passes below run as contiguous kernels over qm instead of
-	// per-point Dot calls.
-	qm := mat.FromVectors(pts)
+	// per-point Dot calls. The backing comes from the scratch pool —
+	// at paper scale it is the single largest per-query allocation —
+	// and is released on return; qm must not outlive this function.
+	qbuf := floatScratch(len(pts) * len(pts[0]))
+	defer putFloatScratch(qbuf)
+	qm := mat.FromVectorsInto(pts, qbuf)
 
 	selected := make([]int, 0, k)
-	states := make([]candState, len(pts))
+	states := candStateScratch(len(pts))
+	defer putCandStateScratch(states)
 
 	// Seed: the per-dimension boundary points (at most d, fewer on
 	// duplicates; truncated if k < d, in which case the regret is
@@ -202,8 +205,12 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 	}
 
 	// Re-location scratch, reused across insertions: membership set of
-	// the dual vertices each insertion destroyed.
+	// the dual vertices each insertion destroyed, the cap vertex list,
+	// and its transposed matrix.
 	removed := make(map[int]bool)
+	var capPts []geom.Vector
+	var capIDs []int
+	capT := new(mat.Transposed)
 
 	exhausted := -1
 	for len(selected) < k {
@@ -249,8 +256,7 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 			// transposed matrix, so each re-located candidate is one
 			// batched max-dot. The column-order first-max fold matches
 			// the old Added-then-OnPlane sequential scan bit for bit.
-			capPts := make([]geom.Vector, 0, len(res.Added)+len(res.OnPlane))
-			capIDs := make([]int, 0, len(res.Added)+len(res.OnPlane))
+			capPts, capIDs = capPts[:0], capIDs[:0]
 			for _, v := range res.Added {
 				capPts = append(capPts, v.Point)
 				capIDs = append(capIDs, v.ID)
@@ -259,7 +265,7 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 				capPts = append(capPts, v.Point)
 				capIDs = append(capIDs, v.ID)
 			}
-			capT := mat.TransposeVectors(qm.Dim(), capPts)
+			capT.SetCols(qm.Dim(), capPts)
 			err := parallel.For(ctx, len(states), workers, grainRelocate, func(start, end int) error {
 				acc := floatScratch(len(capPts))
 				defer putFloatScratch(acc)

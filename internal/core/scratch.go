@@ -55,3 +55,32 @@ func putIntScratch(s []int) {
 	s = s[:0]
 	intScratchPool.Put(&s)
 }
+
+// candStatePool recycles GeoGreedy's per-query candidate-state array —
+// 24 bytes per candidate, the second-largest per-query allocation at
+// paper scale after the flattened point matrix.
+var candStatePool sync.Pool
+
+// candStateScratch returns a length-n zeroed candState slice. Pair
+// with putCandStateScratch.
+func candStateScratch(n int) []candState {
+	if v := candStatePool.Get(); v != nil {
+		if s := *(v.(*[]candState)); cap(s) >= n {
+			s = s[:n]
+			for i := range s {
+				s[i] = candState{}
+			}
+			return s
+		}
+	}
+	return make([]candState, n)
+}
+
+// putCandStateScratch returns a scratch slice to the pool.
+func putCandStateScratch(s []candState) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	candStatePool.Put(&s)
+}

@@ -83,18 +83,41 @@ type Polytope struct {
 	// the vertex slice. See internal/mat for the bit-exactness
 	// contract.
 	tv *mat.Transposed
+
+	// Insertion scratch, reused across AddHalfspace calls: with k
+	// insertions per query and queries pooled by core, these would
+	// otherwise allocate on every greedy iteration.
+	colScratch []geom.Vector
+	valScratch []float64
+	clsScratch []vclass
+	cntScratch map[int]int
 }
+
+// vclass classifies a vertex against an incoming halfspace.
+type vclass int8
+
+const (
+	below vclass = iota // strictly inside
+	on
+	above // to be removed
+)
 
 // rebuildTV regenerates the transposed vertex matrix from the current
 // vertex set. Called after every vertex-set change; refine has already
 // snapped new vertex points by then, so the matrix captures the final
 // coordinates.
 func (p *Polytope) rebuildTV() {
-	cols := make([]geom.Vector, len(p.verts))
+	if cap(p.colScratch) < len(p.verts) {
+		p.colScratch = make([]geom.Vector, len(p.verts))
+	}
+	cols := p.colScratch[:len(p.verts)]
 	for c, v := range p.verts {
 		cols[c] = v.Point
 	}
-	p.tv = mat.TransposeVectors(p.dim, cols)
+	if p.tv == nil {
+		p.tv = &mat.Transposed{}
+	}
+	p.tv.SetCols(p.dim, cols)
 }
 
 // AddResult describes the effect of one halfspace insertion.
@@ -306,14 +329,12 @@ func (p *Polytope) AddHalfspaceCtx(ctx context.Context, normal geom.Vector, offs
 	p.cons = append(p.cons, geom.Hyperplane{Normal: normal.Clone(), Offset: offset})
 
 	tol := onEps * (1 + math.Abs(offset))
-	type class int8
-	const (
-		below class = iota // strictly inside
-		on
-		above // to be removed
-	)
-	vals := make([]float64, len(p.verts))
-	classes := make([]class, len(p.verts))
+	if cap(p.valScratch) < len(p.verts) {
+		p.valScratch = make([]float64, len(p.verts))
+		p.clsScratch = make([]vclass, len(p.verts))
+	}
+	vals := p.valScratch[:len(p.verts)]
+	classes := p.clsScratch[:len(p.verts)]
 	var nAbove, nOn int
 	for i, v := range p.verts {
 		val := normal.Dot(v.Point) - offset
@@ -379,7 +400,10 @@ func (p *Polytope) AddHalfspaceCtx(ctx context.Context, normal geom.Vector, offs
 	}
 	incidence := p.buildIncidence(kept)
 	var added []*Vertex
-	counts := make(map[int]int, 64) // kept index → #shared tight constraints
+	if p.cntScratch == nil {
+		p.cntScratch = make(map[int]int, 64)
+	}
+	counts := p.cntScratch // kept index → #shared tight constraints
 	for _, ri := range removedIdx {
 		w := p.verts[ri]
 		wVal := vals[ri]

@@ -263,15 +263,18 @@ func Compute(pts []geom.Vector) ([]int, error) {
 		}
 	}
 	sky := skylineFilter(pts)
-	return computeAmong(pts, sky, sky), nil
+	return ComputeAmongSkyline(pts, sky), nil
 }
 
 // ComputeAmongSkyline is Compute for callers that already hold the
 // skyline index set (avoids recomputing it in pipelines that need
 // both, e.g. Table III). The caller is responsible for sky being the
-// true skyline of pts.
+// true skyline of pts. Large candidate sets go through the blocked
+// subjugation kernel (kernel.go); small ones through the scalar scan
+// — the returned set is identical either way (pinned by the
+// differential suite in kernel_test.go).
 func ComputeAmongSkyline(pts []geom.Vector, sky []int) []int {
-	return computeAmong(pts, sky, sky)
+	return ComputeAmongSkylineCert(pts, sky).HappyPoints()
 }
 
 // computeAmong returns the members of candidates subjugated by no

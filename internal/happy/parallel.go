@@ -2,10 +2,7 @@ package happy
 
 import (
 	"context"
-	"fmt"
 	"runtime"
-	"sort"
-	"sync"
 
 	"repro/internal/geom"
 )
@@ -13,11 +10,9 @@ import (
 // ComputeAmongSkylineParallel is ComputeAmongSkyline with the
 // per-candidate subjugation scans fanned out over `workers`
 // goroutines (0 means GOMAXPROCS). Results are identical to the
-// sequential version; only the wall-clock changes. The candidate
-// loop dominates the O(d²·|sky|²) preprocessing cost on large
-// datasets (≈16 s sequentially on the 903k-tuple household stand-in),
-// and parallelizes embarrassingly because the adversary set is
-// read-only.
+// sequential version; only the wall-clock changes. Both widths share
+// one read-only subjSweep (see kernel.go), so the parallel path pays
+// the banded layout once and splits only the candidate loop.
 func ComputeAmongSkylineParallel(pts []geom.Vector, sky []int, workers int) []int {
 	out, err := ComputeAmongSkylineParallelCtx(context.Background(), pts, sky, workers)
 	if err != nil {
@@ -29,8 +24,8 @@ func ComputeAmongSkylineParallel(pts []geom.Vector, sky []int, workers int) []in
 }
 
 // ComputeAmongSkylineParallelCtx is ComputeAmongSkylineParallel with
-// cooperative cancellation: the context is checked before each chunk
-// claim, so a deadline stops the preprocessing within one chunk of
+// cooperative cancellation: the context is checked between work
+// units, so a deadline stops the preprocessing within one unit of
 // work per goroutine. The returned error wraps ctx.Err() when
 // canceled; the result is identical to the sequential version
 // whenever the error is nil.
@@ -38,56 +33,9 @@ func ComputeAmongSkylineParallelCtx(ctx context.Context, pts []geom.Vector, sky 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 || len(sky) < 64 {
-		return computeAmong(pts, sky, sky), nil
+	c, err := computeCertCtx(ctx, pts, sky, workers)
+	if err != nil {
+		return nil, err
 	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		out  []int
-		next int
-	)
-	const chunk = 16
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			local := make([]int, 0, len(sky)/workers+1)
-			for ctx.Err() == nil {
-				mu.Lock()
-				start := next
-				next += chunk
-				mu.Unlock()
-				if start >= len(sky) {
-					break
-				}
-				end := min(start+chunk, len(sky))
-				for _, qi := range sky[start:end] {
-					q := pts[qi]
-					isHappy := true
-					for _, pi := range sky {
-						if pi == qi {
-							continue
-						}
-						if subjugates(pts[pi], q) {
-							isHappy = false
-							break
-						}
-					}
-					if isHappy {
-						local = append(local, qi)
-					}
-				}
-			}
-			mu.Lock()
-			out = append(out, local...)
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("happy: canceled during happy-point preprocessing: %w", err)
-	}
-	sort.Ints(out)
-	return out, nil
+	return c.HappyPoints(), nil
 }

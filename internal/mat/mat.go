@@ -79,6 +79,30 @@ func FromVectors(pts []geom.Vector) *PointMatrix {
 	return m
 }
 
+// FromVectorsInto is FromVectors backed by buf when buf has the
+// capacity (allocating otherwise), for callers that recycle the
+// backing across queries — GeoGreedy flattens the full candidate set
+// per query, which dominated its footprint before pooling. The
+// returned matrix aliases buf; the caller must not release buf to a
+// pool before the matrix's last use.
+func FromVectorsInto(pts []geom.Vector, buf []float64) *PointMatrix {
+	if len(pts) == 0 {
+		return &PointMatrix{}
+	}
+	d := len(pts[0])
+	if cap(buf) < len(pts)*d {
+		buf = make([]float64, len(pts)*d)
+	}
+	m := &PointMatrix{data: buf[:len(pts)*d], n: len(pts), d: d}
+	for i, p := range pts {
+		if len(p) != d {
+			panic(fmt.Sprintf("mat: FromVectorsInto row %d has dimension %d, want %d", i, len(p), d))
+		}
+		copy(m.data[i*d:(i+1)*d], p)
+	}
+	return m
+}
+
 // Rows returns the number of points.
 func (m *PointMatrix) Rows() int { return m.n }
 
@@ -230,6 +254,27 @@ func TransposeVectors(d int, cols []geom.Vector) *Transposed {
 		}
 	}
 	return t
+}
+
+// SetCols refills t in place from the m column vectors, reusing the
+// backing array when it has the capacity — the dual hull rebuilds its
+// vertex matrix after every insertion, and incremental callers rebuild
+// a cap matrix per greedy iteration, so the refill is on the per-query
+// allocation path.
+func (t *Transposed) SetCols(d int, cols []geom.Vector) {
+	if cap(t.data) < d*len(cols) {
+		t.data = make([]float64, d*len(cols))
+	}
+	t.data = t.data[:d*len(cols)]
+	t.d, t.m = d, len(cols)
+	for c, v := range cols {
+		if len(v) != d {
+			panic(fmt.Sprintf("mat: SetCols column %d has dimension %d, want %d", c, len(v), d))
+		}
+		for j, x := range v {
+			t.data[j*t.m+c] = x
+		}
+	}
 }
 
 // Cols returns the number of columns (vertices).

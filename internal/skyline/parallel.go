@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/mat"
 	"repro/internal/parallel"
 )
 
@@ -18,36 +19,25 @@ const mergeParGrain = 64
 // cross-filter stays sequential.
 const mergeParThreshold = 2048
 
-// ComputeParallel computes the skyline with the divide & conquer
-// algorithm, running the two recursive halves concurrently down to a
-// depth that saturates `workers` goroutines (0 means the process
-// default) and fanning the cross-filter merges out over the same
-// worker budget. Output is identical to Compute with DC.
+// ComputeParallel computes the skyline with the blocked kernel,
+// striping the points across `workers` goroutines (0 means the
+// process default) and merging with one more kernel pass over the
+// union of stripe skylines. Output is identical to Of on every input
+// — the kernel is exact and order-independent, so the stripe
+// decomposition changes only wall-clock.
 func ComputeParallel(pts []geom.Vector, workers int) ([]int, error) {
 	return ComputeParallelCtx(context.Background(), pts, workers)
 }
 
 // ComputeParallelCtx is ComputeParallel with the caller's context
-// plumbed into the cross-filter fan-outs. The recursion itself is
-// pure compute between fan-out points, so cancellation is observed at
-// merge granularity; the result is identical to the sequential
-// skyline whenever it returns nil error.
+// plumbed into the stripe fan-out. Each stripe is pure compute, so
+// cancellation is observed at stripe granularity; the result is
+// identical to the sequential skyline whenever it returns nil error.
 func ComputeParallelCtx(ctx context.Context, pts []geom.Vector, workers int) ([]int, error) {
 	if err := validate(pts); err != nil {
 		return nil, err
 	}
-	w := parallel.Resolve(workers)
-	depth := 0
-	for 1<<depth < w {
-		depth++
-	}
-	idx := make([]int, len(pts))
-	for i := range idx {
-		idx[i] = i
-	}
-	out := dcParallel(ctx, pts, idx, depth, w)
-	sort.Ints(out)
-	return out, nil
+	return computeParallelKernel(ctx, pts, parallel.Resolve(workers))
 }
 
 // dcParallel mirrors dcRec, spawning goroutines for the first
@@ -129,10 +119,11 @@ func appendUndominated(ctx context.Context, pts []geom.Vector, dst, cand, agains
 }
 
 // dominatedByAny reports whether p is dominated by any point of the
-// index set against.
+// index set against, via the matrix kernel's row-form dominance
+// (decision-identical to geom.Dominates).
 func dominatedByAny(pts []geom.Vector, p geom.Vector, against []int) bool {
 	for _, ai := range against {
-		if geom.Dominates(pts[ai], p) {
+		if mat.DominatesRows(pts[ai], p) {
 			return true
 		}
 	}

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/mat"
 )
 
 // Algorithm selects a skyline implementation.
@@ -39,6 +40,9 @@ const (
 	BNL Algorithm = iota
 	SFS
 	DC
+	// Kernel is the blocked two-tier window over packed rows
+	// (kernel.go) — the default behind Of and ComputeParallel.
+	Kernel
 )
 
 func (a Algorithm) String() string {
@@ -49,6 +53,8 @@ func (a Algorithm) String() string {
 		return "SFS"
 	case DC:
 		return "DC"
+	case Kernel:
+		return "Kernel"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -87,13 +93,15 @@ func Compute(pts []geom.Vector, algo Algorithm) ([]int, error) {
 		return sfs(pts), nil
 	case DC:
 		return dc(pts), nil
+	case Kernel:
+		return computeKernel(pts)
 	default:
 		return nil, fmt.Errorf("%w: unknown algorithm %d", ErrBadInput, int(algo))
 	}
 }
 
-// Of is shorthand for Compute with SFS, the fastest variant here.
-func Of(pts []geom.Vector) ([]int, error) { return Compute(pts, SFS) }
+// Of is shorthand for Compute with Kernel, the fastest variant here.
+func Of(pts []geom.Vector) ([]int, error) { return Compute(pts, Kernel) }
 
 // bnl is the block-nested-loop algorithm with an in-memory window of
 // mutually non-dominating points. Because the window is an antichain
@@ -206,12 +214,14 @@ func dcRec(pts []geom.Vector, idx []int) []int {
 	// low point can dominate a high point. Each side is filtered
 	// against the other's unfiltered skyline (valid by transitivity,
 	// and no point can be dropped from both sides because each
-	// skyline is an antichain).
+	// skyline is an antichain). Dominance runs through the matrix
+	// kernel's row form — decision-identical to geom.Dominates, with
+	// the branch-free d=4 fast path.
 	merged := make([]int, 0, len(skyLow)+len(skyHigh))
 	for _, hi := range skyHigh {
 		dominated := false
 		for _, li := range skyLow {
-			if geom.Dominates(pts[li], pts[hi]) {
+			if mat.DominatesRows(pts[li], pts[hi]) {
 				dominated = true
 				break
 			}
@@ -223,7 +233,7 @@ func dcRec(pts []geom.Vector, idx []int) []int {
 	for _, li := range skyLow {
 		dominated := false
 		for _, hi := range skyHigh {
-			if geom.Dominates(pts[hi], pts[li]) {
+			if mat.DominatesRows(pts[hi], pts[li]) {
 				dominated = true
 				break
 			}

@@ -1,0 +1,122 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestUpdateInsertDeleteDifferential drives long randomized
+// insert/delete sequences and asserts after EVERY mutation that the
+// incrementally patched skyline equals a from-scratch recompute —
+// exact slice equality, not set equality, since both sides are
+// ascending original indices.
+func TestUpdateInsertDeleteDifferential(t *testing.T) {
+	for _, g := range kernelGens {
+		for d := 2; d <= 6; d++ {
+			pool, err := g.fn(400, d, int64(d*7+len(g.name)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts := append([]geom.Vector(nil), pool[:80]...)
+			pool = pool[80:]
+			sky := brute(pts)
+			rng := rand.New(rand.NewSource(int64(d)))
+			for step := 0; step < 200; step++ {
+				if len(pool) > 0 && (len(pts) < 20 || rng.Intn(2) == 0) {
+					pts = append(pts, pool[0])
+					pool = pool[1:]
+					newSky, removed, inserted, err := UpdateInsert(pts, sky)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !inserted {
+						// Fast path contract: the cached slice is shared.
+						if len(sky) > 0 && &newSky[0] != &sky[0] {
+							t.Fatalf("%s d=%d step %d: no-op insert copied the skyline", g.name, d, step)
+						}
+						if removed != nil {
+							t.Fatalf("%s d=%d step %d: no-op insert evicted %v", g.name, d, step, removed)
+						}
+					}
+					for _, r := range removed {
+						if !geom.Dominates(pts[len(pts)-1], pts[r]) {
+							t.Fatalf("%s d=%d step %d: evicted %d is not dominated by the insert", g.name, d, step, r)
+						}
+					}
+					sky = newSky
+				} else {
+					delIdx := rng.Intn(len(pts))
+					newSky, entrants, wasSky, err := UpdateDelete(pts, sky, delIdx)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wasMember := false
+					for _, s := range sky {
+						if s == delIdx {
+							wasMember = true
+						}
+					}
+					if wasSky != wasMember {
+						t.Fatalf("%s d=%d step %d: wasSky=%v, membership=%v", g.name, d, step, wasSky, wasMember)
+					}
+					if !wasSky && entrants != nil {
+						t.Fatalf("%s d=%d step %d: entrants %v from a non-skyline delete", g.name, d, step, entrants)
+					}
+					pts = append(pts[:delIdx], pts[delIdx+1:]...)
+					sky = newSky
+				}
+				want := brute(pts)
+				equalInts(t, g.name, sky, want)
+			}
+		}
+	}
+}
+
+// TestUpdateInsertErrors: invalid cached state must error, not
+// silently corrupt.
+func TestUpdateInsertErrors(t *testing.T) {
+	if _, _, _, err := UpdateInsert(nil, nil); err == nil {
+		t.Fatal("empty point set accepted")
+	}
+	pts := []geom.Vector{{0.5, 0.5}, {0.6, 0.6}}
+	for _, bad := range [][]int{{1}, {-1}, {2}} {
+		if _, _, _, err := UpdateInsert(pts, bad); err == nil {
+			t.Fatalf("cached skyline %v accepted for insert at index 1", bad)
+		}
+	}
+}
+
+// TestUpdateDeleteErrors: out-of-range indices are rejected.
+func TestUpdateDeleteErrors(t *testing.T) {
+	pts := []geom.Vector{{0.5, 0.5}}
+	for _, bad := range []int{-1, 1} {
+		if _, _, _, err := UpdateDelete(pts, []int{0}, bad); err == nil {
+			t.Fatalf("delete index %d accepted (n=1)", bad)
+		}
+	}
+	if _, _, _, err := UpdateDelete(pts, []int{3}, 0); err == nil {
+		t.Fatal("cached skyline index 3 accepted (n=1)")
+	}
+}
+
+// TestUpdateDeleteChainedEntrants pins the mini-skyline among freed
+// candidates: delIdx ≻ x ≻ y means deleting delIdx frees x but NOT y.
+func TestUpdateDeleteChainedEntrants(t *testing.T) {
+	pts := []geom.Vector{
+		{0.9, 0.9}, // 0: skyline, to be deleted
+		{0.8, 0.8}, // 1: freed by the delete
+		{0.7, 0.7}, // 2: still dominated by 1 after the delete
+		{0.1, 0.95},
+	}
+	sky, entrants, wasSky, err := UpdateDelete(pts, brute(pts), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wasSky {
+		t.Fatal("deleted point was skyline")
+	}
+	equalInts(t, "entrants", entrants, []int{0}) // old index 1, shifted down
+	equalInts(t, "sky", sky, []int{0, 2})
+}

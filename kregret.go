@@ -291,10 +291,17 @@ type dsState struct {
 	skyOnce sync.Once
 	sky     []int
 	skyErr  error
+	// skyDone is set (after skyOnce completes without error) so the
+	// mutation path can tell "cache ready" apart from "never asked
+	// for" without triggering the computation itself — only ready
+	// caches are folded incrementally into the successor epoch.
+	skyDone atomic.Bool
 
 	happyOnce sync.Once
 	happy     []int
+	cert      *happy.Cert // witness certificate backing the happy set
 	happyErr  error
+	happyDone atomic.Bool
 
 	convOnce sync.Once
 	conv     []int
@@ -403,6 +410,7 @@ func (d *Dataset) seedSkyline(sky []int) {
 	s := d.snap()
 	s.skyOnce.Do(func() {
 		s.sky = append([]int(nil), sky...)
+		s.skyDone.Store(true)
 	})
 }
 
@@ -428,7 +436,9 @@ func (s *dsState) skyline() ([]int, error) {
 		}
 		if s.skyErr != nil {
 			s.skyErr = fmt.Errorf("kregret: %w", s.skyErr)
+			return
 		}
+		s.skyDone.Store(true)
 	})
 	if s.skyErr != nil {
 		return nil, s.skyErr
@@ -456,11 +466,9 @@ func (s *dsState) happyPoints() ([]int, error) {
 			s.happyErr = err
 			return
 		}
-		if parallel.Resolve(s.workers) == 1 {
-			s.happy = happy.ComputeAmongSkyline(s.pts, sky)
-		} else {
-			s.happy = happy.ComputeAmongSkylineParallel(s.pts, sky, s.workers)
-		}
+		s.cert = happy.ComputeAmongSkylineCertParallel(s.pts, sky, parallel.Resolve(s.workers))
+		s.happy = s.cert.HappyPoints()
+		s.happyDone.Store(true)
 	})
 	if s.happyErr != nil {
 		return nil, s.happyErr

@@ -9,6 +9,8 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/happy"
+	"repro/internal/skyline"
 	"repro/internal/wal"
 )
 
@@ -137,8 +139,63 @@ func (d *Dataset) Insert(p Point) (int, error) {
 	pts := make([]geom.Vector, len(st.pts)+1)
 	copy(pts, st.pts)
 	pts[len(st.pts)] = v
-	d.state.Store(newState(pts, seq, st.workers, st.pruning))
+	ns := newState(pts, seq, st.workers, st.pruning)
+	seedAfterInsert(st, ns)
+	d.state.Store(ns)
 	return len(pts) - 1, nil
+}
+
+// seedAfterInsert folds the previous epoch's READY candidate caches
+// into the successor epoch with the incremental operators — an
+// O(|sky|·d) patch instead of the O(n²·d²) from-scratch preprocess —
+// before the successor is published. Cold caches stay cold: delta
+// maintenance never triggers a computation the previous epoch did not
+// already pay for, so purely write-heavy workloads keep O(1)
+// mutations. The successor is unpublished here, so the Once.Do calls
+// cannot race a reader.
+func seedAfterInsert(st, ns *dsState) {
+	if !st.skyDone.Load() {
+		return
+	}
+	skyNew, removed, inserted, err := skyline.UpdateInsert(ns.pts, st.sky)
+	if err != nil {
+		return // impossible for a consistent cache; fall back to lazy recompute
+	}
+	ns.skyOnce.Do(func() { ns.sky = skyNew })
+	ns.skyDone.Store(true)
+	if !st.happyDone.Load() || st.cert == nil {
+		return
+	}
+	cert := happy.UpdateInsert(ns.pts, st.cert, skyNew, removed, inserted)
+	ns.happyOnce.Do(func() {
+		ns.cert = cert
+		ns.happy = cert.HappyPoints()
+	})
+	ns.happyDone.Store(true)
+}
+
+// seedAfterDelete is seedAfterInsert's counterpart for Delete: st is
+// the pre-delete epoch (whose caches use pre-delete indices), ns the
+// shifted successor.
+func seedAfterDelete(st, ns *dsState, delIdx int) {
+	if !st.skyDone.Load() {
+		return
+	}
+	skyNew, entrants, wasSky, err := skyline.UpdateDelete(st.pts, st.sky, delIdx)
+	if err != nil {
+		return
+	}
+	ns.skyOnce.Do(func() { ns.sky = skyNew })
+	ns.skyDone.Store(true)
+	if !st.happyDone.Load() || st.cert == nil {
+		return
+	}
+	cert := happy.UpdateDelete(ns.pts, st.cert, delIdx, skyNew, entrants, wasSky)
+	ns.happyOnce.Do(func() {
+		ns.cert = cert
+		ns.happy = cert.HappyPoints()
+	})
+	ns.happyDone.Store(true)
 }
 
 // Delete removes the tuple at index i; tuples after it shift down by
@@ -168,7 +225,9 @@ func (d *Dataset) Delete(i int) error {
 	pts := make([]geom.Vector, 0, len(st.pts)-1)
 	pts = append(pts, st.pts[:i]...)
 	pts = append(pts, st.pts[i+1:]...)
-	d.state.Store(newState(pts, seq, st.workers, st.pruning))
+	ns := newState(pts, seq, st.workers, st.pruning)
+	seedAfterDelete(st, ns, i)
+	d.state.Store(ns)
 	return nil
 }
 
