@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet kregret-vet test test-race test-debug test-fault test-serve test-chaos test-crash fuzz-smoke bench bench-diff bench-smoke check
+.PHONY: build vet kregret-vet test test-race test-debug test-fault test-serve test-chaos test-crash fuzz-smoke bench bench-diff bench-smoke bench-shard check
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,7 @@ test-crash:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzNewDataset -fuzztime=10s .
 	$(GO) test -run=^$$ -fuzz=FuzzQuery -fuzztime=10s .
+	$(GO) test -run=^$$ -fuzz=FuzzCoresetBound -fuzztime=10s .
 	$(GO) test -run=^$$ -fuzz=FuzzLoadIndex -fuzztime=10s .
 	$(GO) test -run=^$$ -fuzz=FuzzKernels -fuzztime=10s ./internal/mat
 	$(GO) test -run=^$$ -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal
@@ -107,4 +108,16 @@ bench-smoke:
 	$(GO) test -count=1 -run 'ParallelMatch|ParallelExhaustion|EngineParallelism' \
 		./internal/core .
 
-check: build vet kregret-vet test-race test-debug test-fault test-serve test-chaos test-crash bench-smoke
+# Sharded serving smoke: the cold-query pair (unsharded baseline vs
+# partition–merge) through the benchbaseline harness at toy size, then
+# the differential suite proving S=1/eps=0 byte-identity and the eps
+# bound. Part of `make check`; the ns/op numbers are meaningless at
+# this scale — the point is that the sharded path builds, serves and
+# stays within its contract.
+bench-shard:
+	$(GO) run ./cmd/benchbaseline -n 4000 -benchtime 1x -parallelism 4 \
+		-bench 'Paper/(ColdQuery|ShardedColdQuery)' \
+		-out /tmp/kregret_bench_shard.json
+	$(GO) test -count=1 -run 'Sharded|MergeShardCores|CoresetDifferential' .
+
+check: build vet kregret-vet test-race test-debug test-fault test-serve test-chaos test-crash bench-smoke bench-shard

@@ -11,6 +11,7 @@ package kregret
 import (
 	"context"
 	"flag"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -29,6 +30,17 @@ var (
 )
 
 const benchPaperD = 4
+
+// Sharded cold-query shape: the partition–merge pair is gated on
+// total work, not fan-out — the bench box may be a single hardware
+// thread — so the shard count stays small (on anti-correlated data
+// every extra shard inflates the merged survivor union and with it
+// the exact work after the merge) and ε = 0.1 is the usual ten-percent
+// regret budget from the paper's experiment grid.
+const (
+	benchShards   = 2
+	benchShardEps = 0.1
+)
 
 var (
 	paperOnce sync.Once
@@ -159,6 +171,66 @@ func BenchmarkPaper(b *testing.B) {
 			if _, err := ds.HappyPoints(); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+	b.Run("ColdQuery", func(b *testing.B) {
+		// End-to-end unsharded baseline for the sharded variant below:
+		// build (the full global skyline → happy preprocess from cold
+		// caches) plus one k=20 happy-point query. Dataset ingestion is
+		// identical on both sides of the pair and untimed — the pair
+		// compares the preprocessing strategies, not the shared copy-in
+		// (the explicit collection drains the untimed allocation debt so
+		// neither side pays the other's garbage inside the timed window).
+		ps := vecsToPoints(pts)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ds, err := NewDataset(ps, WithoutNormalization(), WithParallelism(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			runtime.GC()
+			b.StartTimer()
+			if _, err := ds.Query(20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ShardedColdQuery", func(b *testing.B) {
+		// The partition–merge path at the same k: per-shard ε-dominance
+		// cover, survivor union, one ε-kernel build, GeoGreedy on the
+		// merged core. Ingestion and engine teardown are untimed, build
+		// and query are timed — the benchbaseline diff gates this
+		// entry's ns/op against ColdQuery's, because sharding exists to
+		// beat the global pass and a regression here is a scale-wall
+		// regression.
+		ps := vecsToPoints(pts)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ds, err := NewDataset(ps, WithoutNormalization(), WithParallelism(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			runtime.GC()
+			b.StartTimer()
+			eng, err := NewEngine(ds, WithShardedServing(benchShards, benchShardEps))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s := eng.Stats(); s.Shards == 0 {
+				b.Fatal("shard build fell back to unsharded serving")
+			}
+			if _, err := eng.Query(ctx, 20); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := eng.Shutdown(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
 		}
 	})
 	b.Run("Greedy", func(b *testing.B) {

@@ -27,7 +27,10 @@
 // sequential ns/op and allocs/op deltas. When the baseline was taken
 // with the same -n and -benchtime, a sequential ns/op regression
 // above 10% or an allocs/op growth above 25% on any benchmark exits
-// nonzero so CI can gate on both time and allocation behavior; with
+// nonzero so CI can gate on both time and allocation behavior; for
+// benchmarks whose name contains "Sharded" the parallel ns/op is
+// gated at 10% as well (the partition–merge path exists to win at
+// width, so its parallel time is the one that must not rot). With
 // mismatched parameters the diff is advisory and the gates are
 // skipped.
 package main
@@ -240,7 +243,7 @@ func diffReports(cur, base report, basePath string) bool {
 		baseBy[e.Name] = e
 	}
 	fmt.Printf("%-40s %14s %14s %8s %8s\n", "benchmark", "base ns/op", "new ns/op", "Δns/op", "Δallocs")
-	regressed, allocRegressed := false, false
+	regressed, allocRegressed, parRegressed := false, false, false
 	seen := make(map[string]bool, len(cur.Benchmarks))
 	for _, e := range cur.Benchmarks {
 		seen[e.Name] = true
@@ -260,6 +263,16 @@ func diffReports(cur, base report, basePath string) bool {
 			mark += "  << alloc regression"
 			allocRegressed = true
 		}
+		// Sharded entries exist to beat their unsharded counterpart at
+		// width, so their PARALLEL ns/op is the number that must not
+		// rot; the other entries' parallel times stay advisory (they
+		// are pure noise at width 1).
+		if comparable && strings.Contains(e.Name, "Sharded") {
+			if parDelta := ratioDelta(e.Par.NsPerOp, b.Par.NsPerOp); parDelta > regressionThreshold {
+				mark += fmt.Sprintf("  << parallel regression (%+.1f%%)", 100*parDelta)
+				parRegressed = true
+			}
+		}
 		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%% %+7.1f%%%s\n",
 			e.Name, b.Seq.NsPerOp, e.Seq.NsPerOp, 100*nsDelta, 100*allocDelta, mark)
 	}
@@ -274,7 +287,10 @@ func diffReports(cur, base report, basePath string) bool {
 	if allocRegressed {
 		fmt.Printf("sequential allocs/op regressed more than %.0f%% against %s\n", 100*allocRegressionThreshold, basePath)
 	}
-	return regressed || allocRegressed
+	if parRegressed {
+		fmt.Printf("sharded parallel ns/op regressed more than %.0f%% against %s\n", 100*regressionThreshold, basePath)
+	}
+	return regressed || allocRegressed || parRegressed
 }
 
 // ratioDelta is (new-old)/old, with a zero baseline treated as no

@@ -1,0 +1,214 @@
+package kregret
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestWithCoresetValidation(t *testing.T) {
+	pts := testPoints(20, 3, 91)
+	for _, eps := range []float64{math.NaN(), -0.1, 1, 2} {
+		if _, err := NewDataset(pts, WithCoreset(eps)); err == nil {
+			t.Fatalf("eps=%v accepted", eps)
+		}
+	}
+	if _, err := NewDataset(pts, WithCoreset(0)); err != nil {
+		t.Fatalf("eps=0 rejected: %v", err)
+	}
+}
+
+func TestDatasetCoresetAPI(t *testing.T) {
+	ds, err := NewDataset(testPoints(500, 3, 92), WithCoreset(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, mrr, err := ds.Coreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrr > 0.1+1e-9 {
+		t.Fatalf("core MRR %v exceeds eps", mrr)
+	}
+	if !sort.IntsAreSorted(idx) {
+		t.Fatalf("core not ascending: %v", idx)
+	}
+	happy, err := ds.HappyPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inHappy := make(map[int]bool, len(happy))
+	for _, h := range happy {
+		inHappy[h] = true
+	}
+	for _, c := range idx {
+		if !inHappy[c] {
+			t.Fatalf("core index %d is not a happy point", c)
+		}
+	}
+	// Coreset returns a copy.
+	idx[0] = -1
+	again, _, err := ds.Coreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] == -1 {
+		t.Fatal("Coreset aliases the cached slice")
+	}
+
+	// Without the option, the core IS the happy set with zero ratio.
+	plain, err := NewDataset(testPoints(500, 3, 92))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pidx, pmrr, err := plain.Coreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, _ := plain.HappyPoints()
+	if pmrr != 0 || len(pidx) != len(ph) {
+		t.Fatalf("plain coreset: %d of %d happy points, mrr %v", len(pidx), len(ph), pmrr)
+	}
+}
+
+// TestCoresetDifferential is the tentpole's differential suite: for a
+// grid of eps values the coreset-backed answer's true regret over the
+// FULL dataset must stay within eps of the plain answer's regret — the
+// composition bound WithCoreset promises — and eps = 0 must reproduce
+// the plain answers byte for byte.
+func TestCoresetDifferential(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		pts := testPoints(800, d, int64(93+d))
+		plain, err := NewDataset(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0, 0.05, 0.2} {
+			cds, err := NewDataset(pts, WithCoreset(eps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{d, 5, 12} {
+				want, err := plain.Query(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := cds.Query(k)
+				if err != nil {
+					t.Fatalf("d=%d eps=%v k=%d: %v", d, eps, k, err)
+				}
+				if eps == 0 {
+					if math.Float64bits(got.MRR) != math.Float64bits(want.MRR) {
+						t.Fatalf("d=%d k=%d: eps=0 MRR %v != plain %v", d, k, got.MRR, want.MRR)
+					}
+					if len(got.Indices) != len(want.Indices) {
+						t.Fatalf("d=%d k=%d: eps=0 selected %d, plain %d", d, k, len(got.Indices), len(want.Indices))
+					}
+					for i := range got.Indices {
+						if got.Indices[i] != want.Indices[i] {
+							t.Fatalf("d=%d k=%d: eps=0 indices %v != plain %v", d, k, got.Indices, want.Indices)
+						}
+					}
+					continue
+				}
+				// True regret of the coreset answer over the full
+				// dataset, measured by the plain dataset's evaluator.
+				trueMRR, err := plain.EvaluateMRR(got.Indices)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if trueMRR > got.MRR+eps+1e-9 {
+					t.Fatalf("d=%d eps=%v k=%d: true regret %v exceeds reported %v + eps",
+						d, eps, k, trueMRR, got.MRR)
+				}
+				if trueMRR > want.MRR+eps+1e-9 {
+					t.Fatalf("d=%d eps=%v k=%d: true regret %v exceeds plain %v + eps",
+						d, eps, k, trueMRR, want.MRR)
+				}
+			}
+		}
+	}
+}
+
+// TestCoresetOnlyAffectsHappyQueries: CandidatesSkyline and
+// CandidatesAll bypass the core entirely and must answer exactly like
+// a plain dataset.
+func TestCoresetOnlyAffectsHappyQueries(t *testing.T) {
+	pts := testPoints(400, 3, 97)
+	plain, err := NewDataset(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cds, err := NewDataset(pts, WithCoreset(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []CandidateSet{CandidatesSkyline, CandidatesAll} {
+		want, err := plain.Query(6, WithCandidates(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cds.Query(6, WithCandidates(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.MRR) != math.Float64bits(want.MRR) {
+			t.Fatalf("%v: coreset dataset MRR %v != plain %v", c, got.MRR, want.MRR)
+		}
+	}
+}
+
+// TestCoresetSurvivesMutation: each epoch rebuilds its core lazily, so
+// queries after Insert/Delete keep the eps bound against the mutated
+// dataset.
+func TestCoresetSurvivesMutation(t *testing.T) {
+	const eps = 0.1
+	ds, err := NewDataset(testPoints(300, 3, 98), WithCoreset(eps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coordinates are in the normalized space (per-dim max 1), so 1.5
+	// everywhere strictly dominates the entire dataset.
+	dominating := Point{1.5, 1.5, 1.5}
+	idx, err := ds.Insert(dominating)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := ds.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, i := range ans.Indices {
+		found = found || i == idx
+	}
+	if !found {
+		t.Fatalf("post-insert core misses the dominating point: %v", ans.Indices)
+	}
+	if err := ds.Delete(idx); err != nil {
+		t.Fatal(err)
+	}
+	ans, err = ds.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueMRR, err := ds.EvaluateMRR(ans.Indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trueMRR > ans.MRR+eps+1e-9 {
+		t.Fatalf("post-delete regret %v exceeds reported %v + eps", trueMRR, ans.MRR)
+	}
+	core, mrr, err := ds.Coreset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrr > eps+1e-9 {
+		t.Fatalf("post-mutation core MRR %v", mrr)
+	}
+	for _, c := range core {
+		if c < 0 || c >= ds.Len() {
+			t.Fatalf("post-mutation core index %d out of range [0,%d)", c, ds.Len())
+		}
+	}
+}

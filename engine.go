@@ -46,6 +46,9 @@ type engineOptions struct {
 	retryBackoff        time.Duration
 	watchdogInterval    time.Duration
 	rebuildEvery        int
+	sharded             bool
+	shards              int
+	shardEps            float64
 }
 
 // WithWorkers bounds how many queries execute concurrently (default
@@ -127,12 +130,14 @@ func WithRetryBudget(retries int, backoff time.Duration) EngineOption {
 }
 
 // WithRebuildThreshold sets how many applied mutations accumulate
-// before Engine.Apply folds them into a fresh serving epoch (default
-// 1: every Apply call rebuilds). Until the threshold is reached,
-// queries keep answering from the previous epoch — mutations are
-// already durable in the dataset's WAL, just not yet visible to the
-// engine's readers. Raise it to amortize candidate-set and index
-// rebuild cost over bursts of mutations.
+// before Engine.Apply folds them into a fresh serving epoch. The
+// default is 1 — every Apply call folds immediately, so readers never
+// lag the durable state — and values below 1 are clamped to 1. Until
+// the threshold is reached, queries keep answering from the previous
+// epoch: mutations are already durable in the dataset's WAL, just not
+// yet visible to the engine's readers. Raise it only to amortize
+// candidate-set, coreset and index rebuild cost over bursts of
+// mutations, accepting that bounded staleness in exchange.
 func WithRebuildThreshold(n int) EngineOption {
 	return func(o *engineOptions) { o.rebuildEvery = n }
 }
@@ -195,6 +200,16 @@ type EngineStats struct {
 	MutationsApplied uint64
 	Rebuilds         uint64
 	PendingMutations int
+	// Sharded serving gauges (WithShardedServing), all from the
+	// current epoch: Shards is the effective shard count (0 when
+	// unsharded or fallen back), CoreSize the merged core size,
+	// CoresetBuildTime the partition–merge build cost.
+	// ShardFallbacks counts epochs whose shard build failed and served
+	// unsharded instead.
+	Shards           int
+	CoreSize         int
+	CoresetBuildTime time.Duration
+	ShardFallbacks   uint64
 }
 
 // Engine is the production serving layer around a Dataset: a bounded
@@ -232,6 +247,7 @@ type Engine struct {
 	watchdogStuck   atomic.Uint64
 	applied         atomic.Uint64
 	rebuilds        atomic.Uint64
+	shardFallbacks  atomic.Uint64
 	stopping        atomic.Bool
 	snapshotRebuilt bool
 
@@ -262,6 +278,16 @@ type engineEpoch struct {
 	num uint64
 	ds  *Dataset
 	idx *Index // non-nil only with WithSnapshot
+
+	// Sharded serving view (WithShardedServing), nil/zero when the
+	// engine is unsharded or the shard build for this epoch fell back:
+	// serveDS holds the merged per-shard core as its own dataset,
+	// coreMap translates its indices to ds indices, shards is the
+	// effective shard count and coresetBuild the partition–merge cost.
+	serveDS      *Dataset
+	coreMap      []int
+	shards       int
+	coresetBuild time.Duration
 }
 
 // inflightEntry is one running query as the watchdog sees it: the
@@ -276,15 +302,28 @@ type inflightEntry struct {
 // NewEngine builds a serving engine over ds. With WithSnapshot it
 // also loads (or rebuilds) the StoredList index and serves default
 // queries from it in O(k).
+func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
+	return NewEngineContext(context.Background(), ds, opts...)
+}
+
+// NewEngineContext is NewEngine with the startup work bounded by a
+// context: the sharded partition–merge build and the snapshot index
+// load/rebuild can be expensive at scale, and cancellation stops them
+// at the same granularity as queries. The context bounds construction
+// only — the engine itself (and its watchdog goroutine, which Shutdown
+// stops and joins) lives until Shutdown, not until ctx ends.
 //
 //kregret:allow ctxflow: the watchdog goroutine is engine-lifetime, stopped and joined by Shutdown, not request-scoped
-func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
+func NewEngineContext(ctx context.Context, ds *Dataset, opts ...EngineOption) (*Engine, error) {
 	if ds == nil {
 		return nil, errors.New("kregret: engine needs a dataset")
 	}
 	var o engineOptions
 	for _, f := range opts {
 		f(&o)
+	}
+	if err := o.validateSharding(); err != nil {
+		return nil, err
 	}
 	e := &Engine{
 		base: ds,
@@ -295,8 +334,18 @@ func NewEngine(ds *Dataset, opts ...EngineOption) (*Engine, error) {
 		}),
 	}
 	ep := &engineEpoch{num: 1, ds: ds.Snapshot()}
+	e.shardEpoch(ctx, ep)
 	if o.snapshotPath != "" {
-		idx, rebuilt, err := loadOrRebuildIndex(ep.ds, o.snapshotPath)
+		var (
+			idx     *Index
+			rebuilt bool
+			err     error
+		)
+		if ep.serveDS != nil {
+			idx, rebuilt, err = loadOrRebuildShardedIndex(ctx, ep.ds, ep.serveDS, ep.coreMap, o.snapshotPath)
+		} else {
+			idx, rebuilt, err = loadOrRebuildIndex(ep.ds, o.snapshotPath)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -336,10 +385,16 @@ func derivePerQueryWorkers(budget, poolWorkers int) int {
 // failures (I/O errors, a numerically failing build) propagate.
 func loadOrRebuildIndex(ds *Dataset, path string) (*Index, bool, error) {
 	idx, err := LoadFile(path, ds)
-	if err == nil {
+	if err == nil && idx.core == nil {
 		return idx, false, nil
 	}
-	if !errors.Is(err, ErrCorruptIndex) && !errors.Is(err, ErrIndexMismatch) && !errors.Is(err, os.ErrNotExist) {
+	if err == nil {
+		// A sharded engine persisted this snapshot: its StoredList was
+		// built over a coreset, so an unsharded engine serving it would
+		// silently return approximate answers. Rebuild instead.
+		err = fmt.Errorf("%w: snapshot carries a sharded core", ErrIndexMismatch)
+	}
+	if !loadFailureRebuildable(err) {
 		return nil, false, fmt.Errorf("kregret: engine snapshot: %w", err)
 	}
 	idx, berr := ds.BuildIndex()
@@ -350,6 +405,13 @@ func loadOrRebuildIndex(ds *Dataset, path string) (*Index, bool, error) {
 		return nil, false, fmt.Errorf("kregret: rewriting engine snapshot: %w", serr)
 	}
 	return idx, true, nil
+}
+
+// loadFailureRebuildable reports whether a snapshot load failure is
+// one the startup path recovers from by rebuilding: missing, corrupt
+// or built from different data. I/O errors and the like propagate.
+func loadFailureRebuildable(err error) bool {
+	return errors.Is(err, ErrCorruptIndex) || errors.Is(err, ErrIndexMismatch) || errors.Is(err, os.ErrNotExist)
 }
 
 // Query answers a k-regret query through the serving pipeline:
@@ -481,7 +543,8 @@ func (e *Engine) serveOnce(ctx context.Context, k int, o *options, opts []Option
 
 	// Default-config queries on a snapshot-backed engine are served
 	// from the materialized list in O(k) — no breaker needed, the
-	// index cannot fail numerically.
+	// index cannot fail numerically. (A sharded index already answers
+	// in global indices: buildShardedIndex composed the maps.)
 	if ep.idx != nil && o.algorithm == AlgoGeoGreedy && o.candidates == CandidatesHappy {
 		if ans, err := ep.idx.Query(k); err == nil {
 			return ans, nil
@@ -490,14 +553,31 @@ func (e *Engine) serveOnce(ctx context.Context, k int, o *options, opts []Option
 		// to the live solver.
 	}
 
+	// Live solvers run against the serving view: the sharded merged
+	// core for happy-candidate queries (answers remapped to global
+	// indices below), the full dataset otherwise.
+	serveDS, coreMap := ep.ds, []int(nil)
+	if ep.serveDS != nil && o.candidates == CandidatesHappy {
+		serveDS, coreMap = ep.serveDS, ep.coreMap
+	}
+	serveQuery := func(extra ...Option) (*Answer, error) {
+		ans, err := serveDS.QueryContext(ctx, k, append(opts, extra...)...)
+		if err == nil && coreMap != nil {
+			for i, ci := range ans.Indices {
+				ans.Indices[i] = coreMap[ci]
+			}
+		}
+		return ans, err
+	}
+
 	br := e.breakers.For(breakerKey(o.algorithm, ep.ds.Dim()))
 	if o.algorithm == AlgoCube {
 		// Cube is the floor of the fallback chain — non-adaptive
 		// arithmetic with nothing to break.
-		return ep.ds.QueryContext(ctx, k, opts...)
+		return serveQuery()
 	}
 	if !br.Allow() {
-		ans, err := ep.ds.QueryContext(ctx, k, append(opts, WithAlgorithm(AlgoCube))...)
+		ans, err := serveQuery(WithAlgorithm(AlgoCube))
 		if err != nil {
 			return nil, err
 		}
@@ -509,7 +589,7 @@ func (e *Engine) serveOnce(ctx context.Context, k int, o *options, opts []Option
 		return ans, nil
 	}
 
-	ans, err := ep.ds.QueryContext(ctx, k, opts...)
+	ans, err := serveQuery()
 	switch {
 	case err == nil && !ans.Degraded:
 		br.Record(true)
@@ -550,8 +630,13 @@ func (e *Engine) Stats() EngineStats {
 	e.muApply.Lock()
 	pending := e.pending
 	e.muApply.Unlock()
+	ep := e.epoch.Load()
 	return EngineStats{
-		Epoch:                e.epoch.Load().num,
+		Shards:               ep.shards,
+		CoreSize:             len(ep.coreMap),
+		CoresetBuildTime:     ep.coresetBuild,
+		ShardFallbacks:       e.shardFallbacks.Load(),
+		Epoch:                ep.num,
 		MutationsApplied:     e.applied.Load(),
 		Rebuilds:             e.rebuilds.Load(),
 		PendingMutations:     pending,
@@ -744,8 +829,17 @@ func (e *Engine) Apply(ctx context.Context, muts ...Mutation) error {
 func (e *Engine) foldLocked(ctx context.Context) error {
 	old := e.epoch.Load()
 	ep := &engineEpoch{num: old.num + 1, ds: e.base.Snapshot()}
+	e.shardEpoch(ctx, ep)
 	if e.opts.snapshotPath != "" {
-		idx, err := ep.ds.BuildIndexContext(ctx)
+		var (
+			idx *Index
+			err error
+		)
+		if ep.serveDS != nil {
+			idx, err = buildShardedIndex(ctx, ep.serveDS, ep.coreMap)
+		} else {
+			idx, err = ep.ds.BuildIndexContext(ctx)
+		}
 		if err != nil {
 			// Mutations stay pending; the next Apply retries the
 			// fold. Queries keep answering from the old epoch.

@@ -330,3 +330,34 @@ func TestEngineShutdownRacingApply(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestRebuildThresholdDefaultFoldsEveryApply pins the debounce
+// default: with no WithRebuildThreshold every Apply folds immediately
+// (readers never lag durable state), and sub-1 thresholds clamp to
+// the same behavior instead of deferring folds forever.
+func TestRebuildThresholdDefaultFoldsEveryApply(t *testing.T) {
+	for _, opts := range [][]EngineOption{
+		nil,                        // default
+		{WithRebuildThreshold(0)},  // clamps to 1
+		{WithRebuildThreshold(-5)}, // clamps to 1
+	} {
+		ds := mutGrid(t)
+		eng, err := NewEngine(ds, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 3; i++ {
+			if err := eng.Apply(context.Background(), InsertMutation(Point{0.5, 0.5})); err != nil {
+				t.Fatal(err)
+			}
+			s := eng.Stats()
+			if s.Epoch != uint64(1+i) || s.Rebuilds != uint64(i) || s.PendingMutations != 0 {
+				t.Fatalf("opts=%v after %d applies: epoch=%d rebuilds=%d pending=%d",
+					opts, i, s.Epoch, s.Rebuilds, s.PendingMutations)
+			}
+		}
+		if err := eng.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

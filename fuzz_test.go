@@ -196,3 +196,59 @@ func FuzzLoadIndex(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCoresetBound fuzzes the ε-kernel layer end to end: for
+// fuzzer-shaped datasets and a fuzzer-chosen eps, the core must be an
+// ascending subset of the happy points whose reported ratio honors
+// eps, and a coreset-backed query's true regret over the full dataset
+// must stay within eps of its reported value — the WithCoreset
+// contract, under adversarial geometry instead of friendly samples.
+func FuzzCoresetBound(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		pts := decodePoints(data)
+		eps := float64(int(data[0]^data[1])%90) / 100 // [0, 0.89]
+		ds, err := NewDataset(pts, WithCoreset(eps))
+		if err != nil {
+			return
+		}
+		core, mrr, err := ds.Coreset()
+		if err != nil {
+			return // degenerate geometry is allowed to fail, not panic
+		}
+		if mrr > eps+1e-9 {
+			t.Fatalf("core ratio %v exceeds eps %v", mrr, eps)
+		}
+		happy, err := ds.HappyPoints()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inHappy := map[int]bool{}
+		for _, h := range happy {
+			inHappy[h] = true
+		}
+		for i, c := range core {
+			if !inHappy[c] {
+				t.Fatalf("core index %d is not a happy point", c)
+			}
+			if i > 0 && core[i-1] >= c {
+				t.Fatalf("core not strictly ascending: %v", core)
+			}
+		}
+		k := 1 + int(data[0]>>4)%6
+		ans, err := ds.Query(k)
+		if err != nil {
+			return
+		}
+		trueMRR, err := ds.EvaluateMRR(ans.Indices)
+		if err != nil {
+			t.Fatalf("EvaluateMRR on coreset answer: %v", err)
+		}
+		if trueMRR > ans.MRR+eps+1e-9 {
+			t.Fatalf("true regret %v exceeds reported %v + eps %v", trueMRR, ans.MRR, eps)
+		}
+	})
+}

@@ -113,6 +113,16 @@ type candState struct {
 }
 
 func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSelect func(int, float64)) (*Result, error) {
+	return greedyHullTrace(ctx, pts, k, workers, 1.0, nil, onSelect)
+}
+
+// greedyHullTrace is the shared greedy dual-hull loop behind GeoGreedy
+// (stop = 1: select while some candidate is strictly outside the hull)
+// and EpsKernel (stop = 1/(1−ε): select while some candidate's support
+// exceeds the ε-kernel slack). extraSeeds, when non-nil, are inserted
+// after the dimension boundary points and before the assignment scan,
+// so the scan prices every candidate against the fully seeded hull.
+func greedyHullTrace(ctx context.Context, pts []geom.Vector, k, workers int, stop float64, extraSeeds []int, onSelect func(int, float64)) (*Result, error) {
 	if _, err := validatePoints(pts); err != nil {
 		return nil, err
 	}
@@ -151,6 +161,23 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 		seeds = seeds[:k]
 	}
 	for _, i := range seeds {
+		if _, err := hull.insert(ctx, pts[i]); err != nil {
+			return nil, err
+		}
+		states[i].taken = true
+		selected = append(selected, i)
+	}
+	// Extra seeds (EpsKernel's direction-net supports) join the hull
+	// before the assignment scan so every candidate is priced against
+	// the fully seeded selection; duplicates of the boundary seeds are
+	// skipped via the taken flags.
+	for _, i := range extraSeeds {
+		if i < 0 || i >= len(pts) {
+			return nil, fmt.Errorf("%w: %d (n=%d)", ErrBadSubset, i, len(pts))
+		}
+		if states[i].taken || len(selected) >= k {
+			continue
+		}
 		if _, err := hull.insert(ctx, pts[i]); err != nil {
 			return nil, err
 		}
@@ -199,7 +226,7 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 		if err != nil {
 			return nil, err
 		}
-		for _, i := range seeds {
+		for _, i := range selected {
 			onSelect(i, mrr)
 		}
 	}
@@ -224,7 +251,7 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 		// support value. A NaN support means the hull arithmetic broke
 		// down (it would silently lose the candidate: every comparison
 		// against NaN is false) — surface it as a degeneracy instead.
-		best, _, err := bestCandidate(ctx, states, workers, len(selected))
+		best, _, err := bestCandidate(ctx, states, workers, len(selected), stop)
 		if err != nil {
 			return nil, err
 		}
@@ -337,11 +364,12 @@ func geoGreedyTrace(ctx context.Context, pts []geom.Vector, k, workers int, onSe
 }
 
 // bestCandidate finds the unselected candidate with the largest
-// cached support, provided it exceeds 1 + eps (critical ratio below
-// 1, i.e. still outside the hull); otherwise (-1, 0, nil). Ties break
-// to the lowest index and a NaN support anywhere is ErrDegenerate —
-// both independent of the worker count.
-func bestCandidate(ctx context.Context, states []candState, workers, nSel int) (int, float64, error) {
+// cached support, provided it exceeds stop + eps (stop = 1 is
+// GeoGreedy's "critical ratio below 1, i.e. still outside the hull";
+// stop = 1/(1−ε) is EpsKernel's slack); otherwise (-1, 0, nil). Ties
+// break to the lowest index and a NaN support anywhere is
+// ErrDegenerate — both independent of the worker count.
+func bestCandidate(ctx context.Context, states []candState, workers, nSel int, stop float64) (int, float64, error) {
 	best, bestVal, err := parallel.ArgMax(ctx, len(states), workers, grainReduce, func(i int) (float64, bool) {
 		return states[i].bestVal, !states[i].taken
 	})
@@ -353,7 +381,7 @@ func bestCandidate(ctx context.Context, states []candState, workers, nSel int) (
 		}
 		return -1, 0, fmt.Errorf("core: GeoGreedy canceled after %d selections: %w", nSel, err)
 	}
-	if best < 0 || bestVal <= 1.0+geom.Eps {
+	if best < 0 || bestVal <= stop+geom.Eps {
 		return -1, 0, nil
 	}
 	return best, bestVal, nil

@@ -93,4 +93,14 @@ const (
 	// SaveFile report failure, proving a failed sync removes the temp
 	// file and leaves the previous snapshot loadable.
 	SitePersistSync = "persist.sync"
+
+	// SiteCoresetBuild makes the next ε-kernel coreset construction
+	// report numerical degeneracy, proving callers fall back to the
+	// full candidate set instead of serving from a broken core.
+	SiteCoresetBuild = "coreset.build"
+
+	// SiteShardMerge fails the next sharded partition–merge fold after
+	// the per-shard cores were computed, proving the engine falls back
+	// to the unsharded serving path and records the fallback.
+	SiteShardMerge = "shard.merge"
 )

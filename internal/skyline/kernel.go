@@ -75,6 +75,12 @@ type domWindow struct {
 	hot       int       // entries [0,hot) scanned linearly first
 	clustered int       // entries [hot,clustered) covered by bmax
 	rebuildAt int
+
+	// lastKill is the window position of the entry credited with the
+	// most recent dominated()/dominated4() kill — the ε-cover's killer
+	// cache reads it to remember which entry handles a direction cell.
+	// Only valid immediately after a probe that returned true.
+	lastKill int
 }
 
 func newDomWindow(d int) *domWindow {
@@ -97,6 +103,7 @@ func (w *domWindow) dominated(q []float64) bool {
 	for i := 0; i < w.hot; i++ {
 		if mat.DominatesRows(w.win[i*d:(i+1)*d], q) {
 			w.killCnt[i]++
+			w.lastKill = i
 			return true
 		}
 	}
@@ -118,6 +125,7 @@ func (w *domWindow) dominated(q []float64) bool {
 		for i := lo; i < hi; i++ {
 			if mat.DominatesRows(w.win[i*d:(i+1)*d], q) {
 				w.killCnt[i]++
+				w.lastKill = i
 				return true
 			}
 		}
@@ -125,6 +133,7 @@ func (w *domWindow) dominated(q []float64) bool {
 	for i := w.clustered; i < len(w.winIdx); i++ {
 		if mat.DominatesRows(w.win[i*d:(i+1)*d], q) {
 			w.killCnt[i]++
+			w.lastKill = i
 			return true
 		}
 	}
@@ -142,6 +151,7 @@ func (w *domWindow) dominated4(q []float64) bool {
 		if min(min(r[0]-q0, r[1]-q1), min(r[2]-q2, r[3]-q3)) >= 0 &&
 			max(max(r[0]-q0, r[1]-q1), max(r[2]-q2, r[3]-q3)) > 0 {
 			w.killCnt[i]++
+			w.lastKill = i
 			return true
 		}
 	}
@@ -158,6 +168,7 @@ func (w *domWindow) dominated4(q []float64) bool {
 			if min(min(r[0]-q0, r[1]-q1), min(r[2]-q2, r[3]-q3)) >= 0 &&
 				max(max(r[0]-q0, r[1]-q1), max(r[2]-q2, r[3]-q3)) > 0 {
 				w.killCnt[i]++
+				w.lastKill = i
 				return true
 			}
 		}
@@ -167,6 +178,7 @@ func (w *domWindow) dominated4(q []float64) bool {
 		if min(min(r[0]-q0, r[1]-q1), min(r[2]-q2, r[3]-q3)) >= 0 &&
 			max(max(r[0]-q0, r[1]-q1), max(r[2]-q2, r[3]-q3)) > 0 {
 			w.killCnt[i]++
+			w.lastKill = i
 			return true
 		}
 	}

@@ -59,10 +59,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/coreset"
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/happy"
@@ -188,9 +190,19 @@ type options struct {
 	workers    int
 	fallback   bool
 	pruning    bool
+	coresetEps float64
 	walPath    string
 	walSnap    string
 	syncEvery  int
+}
+
+// validateCoreset rejects ε-kernel tolerances outside [0, 1) before
+// any state is built (0 keeps the coreset layer disabled).
+func (o *options) validateCoreset() error {
+	if math.IsNaN(o.coresetEps) || o.coresetEps < 0 || o.coresetEps >= 1 {
+		return fmt.Errorf("kregret: coreset eps must be in [0, 1), got %v", o.coresetEps)
+	}
+	return nil
 }
 
 func defaultOptions() options {
@@ -237,6 +249,27 @@ func WithCandidates(c CandidateSet) Option { return func(o *options) { o.candida
 // (queries already run over filtered candidate sets).
 func WithPruning(on bool) Option { return func(o *options) { o.pruning = on } }
 
+// WithCoreset makes the dataset serve happy-point queries from an
+// ε-kernel coreset: a subset of the happy points whose maximum regret
+// ratio against the full candidate set is at most eps (see DESIGN.md
+// §17). Query (with the default CandidatesHappy), BuildIndex and the
+// samplers then search the core instead of the full candidate set, so
+// their cost depends on eps and the hull geometry rather than on n —
+// the scale knob for very large datasets. The price is bounded
+// approximation: a selection's true regret over the whole dataset
+// exceeds the reported (core-measured) value by at most eps.
+//
+// eps = 0 (the default) disables the layer — every answer is exactly
+// the full happy-point answer. eps outside [0, 1) is rejected by
+// NewDataset. CandidatesSkyline and CandidatesAll queries ignore the
+// core (they exist to reproduce the paper's exact baselines).
+//
+// Only a NewDataset/Recover option; as a Query option it has no
+// effect. The core is built lazily per epoch — mutations invalidate it
+// like every other candidate cache — and can be inspected with
+// Dataset.Coreset.
+func WithCoreset(eps float64) Option { return func(o *options) { o.coresetEps = eps } }
+
 // WithoutFallback disables the degradation chain: a numerical failure
 // of the configured algorithm surfaces as a *NumericalError instead
 // of being retried with perturbed candidates and weaker algorithms.
@@ -279,10 +312,11 @@ type Dataset struct {
 // modified again — mutations build a new one — so the caches stay
 // valid for as long as any reader holds the epoch.
 type dsState struct {
-	pts     []geom.Vector
-	seq     uint64 // last mutation folded into this epoch
-	workers int
-	pruning bool
+	pts        []geom.Vector
+	seq        uint64 // last mutation folded into this epoch
+	workers    int
+	pruning    bool
+	coresetEps float64 // 0 = coreset layer disabled
 
 	evalOnce sync.Once
 	eval     *core.EvalIndex
@@ -306,10 +340,15 @@ type dsState struct {
 	convOnce sync.Once
 	conv     []int
 	convErr  error
+
+	coreOnce sync.Once
+	coreIdx  []int
+	coreMRR  float64
+	coreErr  error
 }
 
-func newState(pts []geom.Vector, seq uint64, workers int, pruning bool) *dsState {
-	return &dsState{pts: pts, seq: seq, workers: workers, pruning: pruning}
+func newState(pts []geom.Vector, seq uint64, workers int, pruning bool, coresetEps float64) *dsState {
+	return &dsState{pts: pts, seq: seq, workers: workers, pruning: pruning, coresetEps: coresetEps}
 }
 
 // snap returns the current epoch. Every public operation loads it
@@ -321,7 +360,7 @@ func (d *Dataset) snap() *dsState { return d.state.Load() }
 // already-normalized vectors (shared by NewDataset and Recover).
 func newDatasetFromVectors(pts []geom.Vector, seq uint64, o options) *Dataset {
 	d := &Dataset{workers: o.workers, pruning: o.pruning}
-	d.state.Store(newState(pts, seq, o.workers, o.pruning))
+	d.state.Store(newState(pts, seq, o.workers, o.pruning, o.coresetEps))
 	return d
 }
 
@@ -363,6 +402,9 @@ func NewDataset(points []Point, opts ...Option) (*Dataset, error) {
 		pts = norm
 	}
 	if err := validateVectors(pts); err != nil {
+		return nil, err
+	}
+	if err := o.validateCoreset(); err != nil {
 		return nil, err
 	}
 	d := newDatasetFromVectors(pts, 0, o)
@@ -488,6 +530,51 @@ func (d *Dataset) HappyPoints() ([]int, error) {
 	return append([]int(nil), h...), nil
 }
 
+// coreset returns the epoch's cached ε-kernel indices and the
+// kernel's regret ratio against the happy points (shared slice, not
+// copied). With the layer disabled it is exactly the happy set.
+func (s *dsState) coreset() ([]int, float64, error) {
+	return s.coresetCtx(context.Background())
+}
+
+// coresetCtx is coreset with the (first) construction bounded by ctx.
+// Like every per-epoch cache it computes once: a canceled first build
+// poisons the cache with the cancellation error, exactly as a
+// numerical failure would.
+func (s *dsState) coresetCtx(ctx context.Context) ([]int, float64, error) {
+	s.coreOnce.Do(func() {
+		hp, err := s.happyPoints()
+		if err != nil {
+			s.coreErr = err
+			return
+		}
+		idx, mrr, err := coreset.Build(ctx, s.pts, hp, s.coresetEps, parallel.Resolve(s.workers))
+		if err != nil {
+			s.coreErr = fmt.Errorf("kregret: %w", err)
+			return
+		}
+		s.coreIdx, s.coreMRR = idx, mrr
+	})
+	if s.coreErr != nil {
+		return nil, 0, s.coreErr
+	}
+	return s.coreIdx, s.coreMRR, nil
+}
+
+// Coreset returns the indices of the ε-kernel core the dataset serves
+// happy-point queries from, together with the core's maximum regret
+// ratio measured against the full happy-point candidate set (≤ the
+// configured eps). Without WithCoreset it returns the happy points and
+// a zero ratio. Computed once per epoch and cached; concurrent callers
+// share the computation.
+func (d *Dataset) Coreset() ([]int, float64, error) {
+	idx, mrr, err := d.snap().coreset()
+	if err != nil {
+		return nil, 0, err
+	}
+	return append([]int(nil), idx...), mrr, nil
+}
+
 // convexPoints returns the epoch's cached hull-extreme indices
 // (shared, not copied).
 func (s *dsState) convexPoints() ([]int, error) {
@@ -547,6 +634,10 @@ type Answer struct {
 func (s *dsState) candidateIndices(c CandidateSet) ([]int, error) {
 	switch c {
 	case CandidatesHappy:
+		if s.coresetEps > 0 {
+			idx, _, err := s.coreset()
+			return idx, err
+		}
 		return s.happyPoints()
 	case CandidatesSkyline:
 		return s.skyline()
@@ -901,6 +992,12 @@ func (d *Dataset) WorstUtilityContext(ctx context.Context, selection []int) (wei
 type Index struct {
 	list *core.StoredList
 	cand []int
+	// core, when non-nil, records that this index was built by a
+	// sharded engine over the merged partition–merge core (global
+	// indices, ascending). It rides in snapshot payload v3 so reload
+	// can match the index against the engine's shard configuration;
+	// cand is already in global coordinates either way.
+	core []int
 }
 
 // BuildIndex runs the StoredList preprocessing over the happy points.
@@ -937,7 +1034,7 @@ func (d *Dataset) BuildIndexUpToContext(ctx context.Context, maxK int) (*Index, 
 
 func (d *Dataset) buildIndex(ctx context.Context, maxK int) (*Index, error) {
 	st := d.snap()
-	hp, err := st.happyPoints()
+	hp, err := st.candidateIndices(CandidatesHappy)
 	if err != nil {
 		return nil, err
 	}

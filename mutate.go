@@ -139,7 +139,7 @@ func (d *Dataset) Insert(p Point) (int, error) {
 	pts := make([]geom.Vector, len(st.pts)+1)
 	copy(pts, st.pts)
 	pts[len(st.pts)] = v
-	ns := newState(pts, seq, st.workers, st.pruning)
+	ns := newState(pts, seq, st.workers, st.pruning, st.coresetEps)
 	seedAfterInsert(st, ns)
 	d.state.Store(ns)
 	return len(pts) - 1, nil
@@ -222,10 +222,21 @@ func (d *Dataset) Delete(i int) error {
 			return fmt.Errorf("kregret: delete not durable: %w", err)
 		}
 	}
-	pts := make([]geom.Vector, 0, len(st.pts)-1)
-	pts = append(pts, st.pts[:i]...)
-	pts = append(pts, st.pts[i+1:]...)
-	ns := newState(pts, seq, st.workers, st.pruning)
+	var pts []geom.Vector
+	if i == len(st.pts)-1 {
+		// Deleting the tail needs no clone: epochs are immutable, so the
+		// predecessor keeps reading its longer view of the same backing
+		// array, and the capacity cap forces any future growth to
+		// reallocate instead of writing into the shared tail. This turns
+		// the insert-then-undo round trip (the Engine fold's probe
+		// pattern) from two O(n) copies into one.
+		pts = st.pts[:i:i]
+	} else {
+		pts = make([]geom.Vector, 0, len(st.pts)-1)
+		pts = append(pts, st.pts[:i]...)
+		pts = append(pts, st.pts[i+1:]...)
+	}
+	ns := newState(pts, seq, st.workers, st.pruning, st.coresetEps)
 	seedAfterDelete(st, ns, i)
 	d.state.Store(ns)
 	return nil
@@ -336,6 +347,9 @@ func Recover(snapshotPath, walPath string, opts ...Option) (*Dataset, error) {
 	o := defaultOptions()
 	for _, f := range opts {
 		f(&o)
+	}
+	if err := o.validateCoreset(); err != nil {
+		return nil, err
 	}
 	pts, seq, err := loadDatasetFile(snapshotPath)
 	if err != nil {

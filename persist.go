@@ -70,22 +70,30 @@ var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
 // dataset's evaluation pruning without recomputing the skyline pass.
 // v1 payloads (no Ext; gob omits absent fields, so the field decodes
 // as nil) still load, they just skip the seeding.
+//
+// Payload v3 adds Core — the sharded engine's merged coreset (global
+// indices, ascending) — so reload can tell a core-built StoredList
+// apart from an exact one and match it against the current shard
+// configuration. Ext and Core are mutually exclusive: a core-built
+// snapshot skips the full-dataset skyline (recomputing it at scale
+// would defeat the sharding). v1/v2 payloads decode with Core nil.
 type indexWire struct {
 	Version  int
 	Checksum uint64
 	N, Dim   int
 	Cand     []int
 	Ext      []int
+	Core     []int
 }
 
-const indexVersion = 2
+const indexVersion = 3
 
 // wireManifest pins the gob wire layout of every struct this package
 // persists (checked by the wireguard analyzer): changing a field
 // means rewriting the entry on this line, which is where the version
 // bump and the decoder's compat path get reviewed together.
 var wireManifest = map[string]string{
-	"indexWire":   "v2 Version int; Checksum uint64; N int; Dim int; Cand []int; Ext []int",
+	"indexWire":   "v3 Version int; Checksum uint64; N int; Dim int; Cand []int; Ext []int; Core []int",
 	"datasetWire": "v1 Version int; Seq uint64; N int; Dim int; Coords []float64",
 }
 
@@ -111,10 +119,16 @@ func (d *Dataset) checksum() uint64 {
 func (x *Index) Save(w io.Writer, d *Dataset) error {
 	// The skyline is already cached on any dataset that built an index
 	// (happy-point extraction runs it); persisting it lets the loader
-	// seed evaluation pruning for free.
-	sky, err := d.Skyline()
-	if err != nil {
-		return fmt.Errorf("kregret: saving index: %w", err)
+	// seed evaluation pruning for free. A core-built index (sharded
+	// engine) persists the core instead: its dataset never ran a
+	// full-dataset skyline and must not start now.
+	var sky []int
+	if x.core == nil {
+		var err error
+		sky, err = d.Skyline()
+		if err != nil {
+			return fmt.Errorf("kregret: saving index: %w", err)
+		}
 	}
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(indexWire{
@@ -124,6 +138,7 @@ func (x *Index) Save(w io.Writer, d *Dataset) error {
 		Dim:      d.Dim(),
 		Cand:     x.cand,
 		Ext:      sky,
+		Core:     x.core,
 	}); err != nil {
 		return fmt.Errorf("kregret: saving index: %w", err)
 	}
@@ -225,6 +240,16 @@ func decodeIndexPayload(r io.Reader, d *Dataset) (*Index, error) {
 			return nil, fmt.Errorf("%w: extreme set not strictly ascending at position %d", ErrCorruptIndex, k)
 		}
 	}
+	// The sharded core (payload v3) gets the same treatment: global
+	// indices, strictly ascending. Ext is never persisted alongside it.
+	for k, c := range wire.Core {
+		if c < 0 || c >= d.Len() {
+			return nil, fmt.Errorf("%w: core index %d out of range", ErrCorruptIndex, c)
+		}
+		if k > 0 && c <= wire.Core[k-1] {
+			return nil, fmt.Errorf("%w: core not strictly ascending at position %d", ErrCorruptIndex, k)
+		}
+	}
 	list, err := core.LoadStoredList(r)
 	if err != nil {
 		return nil, fmt.Errorf("%w: loading index list: %v", ErrCorruptIndex, err)
@@ -232,7 +257,7 @@ func decodeIndexPayload(r io.Reader, d *Dataset) (*Index, error) {
 	if len(wire.Ext) > 0 {
 		d.seedSkyline(wire.Ext)
 	}
-	return &Index{list: list, cand: wire.Cand}, nil
+	return &Index{list: list, cand: wire.Cand, core: wire.Core}, nil
 }
 
 // SaveFile writes the index snapshot to path crash-safely: the bytes
